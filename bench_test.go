@@ -1,0 +1,295 @@
+package adhocshare
+
+// One benchmark per experiment of the DESIGN.md index (E1–E12) — each
+// regenerates its table via the experiments harness and reports the
+// domain metrics (messages, KiB, virtual response time) alongside Go's
+// time/op — plus micro-benchmarks for the hot paths of the substrate
+// (parsing, algebra evaluation, joins, DHT lookups, index publication).
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/dqp"
+	"adhocshare/internal/experiments"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/sparql/optimize"
+	"adhocshare/internal/workload"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1_Fig1Lookup(b *testing.B)        { benchExperiment(b, experiments.E1Fig1) }
+func BenchmarkE2_IndexConstruction(b *testing.B) { benchExperiment(b, experiments.E2IndexConstruction) }
+func BenchmarkE3_LookupHops(b *testing.B)        { benchExperiment(b, experiments.E3LookupHops) }
+func BenchmarkE4_PrimitiveStrategies(b *testing.B) {
+	benchExperiment(b, experiments.E4PrimitiveStrategies)
+}
+func BenchmarkE5_Conjunction(b *testing.B)   { benchExperiment(b, experiments.E5Conjunction) }
+func BenchmarkE6_Optional(b *testing.B)      { benchExperiment(b, experiments.E6Optional) }
+func BenchmarkE7_Union(b *testing.B)         { benchExperiment(b, experiments.E7Union) }
+func BenchmarkE8_FilterPushing(b *testing.B) { benchExperiment(b, experiments.E8FilterPushing) }
+func BenchmarkE9_Fig4EndToEnd(b *testing.B)  { benchExperiment(b, experiments.E9Fig4EndToEnd) }
+func BenchmarkE10_VsRDFPeers(b *testing.B)   { benchExperiment(b, experiments.E10VsRDFPeers) }
+func BenchmarkE11_Churn(b *testing.B)        { benchExperiment(b, experiments.E11Churn) }
+func BenchmarkE12_JoinSite(b *testing.B)     { benchExperiment(b, experiments.E12JoinSite) }
+func BenchmarkE13_QoSJoinSite(b *testing.B)  { benchExperiment(b, experiments.E13QoSJoinSite) }
+func BenchmarkE14_LookupCache(b *testing.B)  { benchExperiment(b, experiments.E14LookupCache) }
+func BenchmarkE15_RangeQueries(b *testing.B) { benchExperiment(b, experiments.E15RangeQueries) }
+
+// ---- distributed query micro-benchmarks with domain metrics ----
+
+// benchDeployment builds a reusable deployment for query benchmarks.
+func benchDeployment(b *testing.B, persons, providers, index int) (*overlay.System, *workload.Dataset, simnet.VTime) {
+	b.Helper()
+	d := workload.Generate(workload.Config{
+		Persons: persons, Providers: providers, AvgKnows: 4,
+		ZipfS: 1.3, KnowsNothingFraction: 0.3, Seed: 9,
+	})
+	sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 2,
+		Net: simnet.Config{BaseLatency: 2 * time.Millisecond, Bandwidth: 1 << 20}})
+	now := simnet.VTime(0)
+	for i := 0; i < index; i++ {
+		var err error
+		_, now, err = sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), now)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	now = sys.Converge(now)
+	for _, name := range d.Providers() {
+		var err error
+		_, now, err = sys.AddStorageNode(simnet.Addr(name), now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now, err = sys.Publish(simnet.Addr(name), d.ByProvider[name], now)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys, d, now
+}
+
+func benchQuery(b *testing.B, opts dqp.Options, mkQuery func(*workload.Dataset) string) {
+	b.Helper()
+	sys, d, now := benchDeployment(b, 200, 10, 8)
+	query := mkQuery(d)
+	e := dqp.NewEngine(sys, opts)
+	var last dqp.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, done, err := e.Query("D00", query, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = done
+		last = stats
+	}
+	b.ReportMetric(float64(last.Messages), "msgs/query")
+	b.ReportMetric(float64(last.Bytes)/1024, "KiB/query")
+	b.ReportMetric(float64(last.ResponseTime)/float64(time.Millisecond), "vms/query")
+}
+
+func BenchmarkQueryPrimitiveBasic(b *testing.B) {
+	benchQuery(b, dqp.Options{Strategy: dqp.StrategyBasic},
+		func(d *workload.Dataset) string { return workload.QueryPrimitive(d.PopularPerson) })
+}
+
+func BenchmarkQueryPrimitiveFreqChain(b *testing.B) {
+	benchQuery(b, dqp.Options{Strategy: dqp.StrategyFreqChain},
+		func(d *workload.Dataset) string { return workload.QueryPrimitive(d.PopularPerson) })
+}
+
+func BenchmarkQueryFig4Baseline(b *testing.B) {
+	benchQuery(b, dqp.BaselineOptions(),
+		func(d *workload.Dataset) string { return workload.QueryFig4("Smith") })
+}
+
+func BenchmarkQueryFig4Optimized(b *testing.B) {
+	benchQuery(b, dqp.DefaultOptions(),
+		func(d *workload.Dataset) string { return workload.QueryFig4("Smith") })
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkSPARQLParse(b *testing.B) {
+	q := workload.QueryFig4("Smith")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgebraTranslateOptimize(b *testing.B) {
+	q, err := sparql.Parse(workload.QueryFilter("Smith"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op, err := algebra.Translate(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optimize.Optimize(op, optimize.DefaultOptions())
+	}
+}
+
+func BenchmarkGraphMatch(b *testing.B) {
+	d := workload.Generate(workload.Config{Persons: 500, Providers: 1, Seed: 2})
+	g := d.UnionGraph()
+	pat := rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewIRI(workload.FOAF + "knows"), O: d.PopularPerson}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Match(pat)
+	}
+}
+
+func BenchmarkLocalEvalFig4(b *testing.B) {
+	d := workload.Generate(workload.Config{Persons: 300, Providers: 1, KnowsNothingFraction: 0.4, Seed: 2})
+	g := d.UnionGraph()
+	q, err := sparql.Parse(workload.QueryFig4("Smith"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op = optimize.Optimize(op, optimize.Options{PushFilters: true, ReorderBGP: true,
+		Estimator: optimize.GraphEstimator{G: g}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Eval(op, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolutionJoin(b *testing.B) {
+	mk := func(n int, vars ...string) eval.Solutions {
+		var s eval.Solutions
+		for i := 0; i < n; i++ {
+			m := eval.NewBinding()
+			for _, v := range vars {
+				m[v] = rdf.NewIRI(fmt.Sprintf("http://x/%s/%d", v, i%50))
+			}
+			s = append(s, m)
+		}
+		return s
+	}
+	l := mk(500, "x", "y")
+	r := mk(500, "y", "z")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Join(l, r)
+	}
+}
+
+func BenchmarkChordLookup(b *testing.B) {
+	net := simnet.New(simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20})
+	refs := make([]chord.Ref, 0, 64)
+	seen := map[chord.ID]bool{}
+	for i := 0; len(refs) < 64; i++ {
+		addr := simnet.Addr(fmt.Sprintf("n%03d", i))
+		id := chord.HashID(string(addr), 24)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		refs = append(refs, chord.Ref{ID: id, Addr: addr})
+	}
+	nodes, now, err := chord.BuildRing(net, refs, chord.Config{Bits: 24}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, done, err := nodes[i%len(nodes)].Lookup(chord.HashID(fmt.Sprint(i), 24), now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = done
+	}
+}
+
+func BenchmarkPublishTriples(b *testing.B) {
+	d := workload.Generate(workload.Config{Persons: 50, Providers: 1, Seed: 4})
+	triples := d.ByProvider["D00"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 2,
+			Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}})
+		now := simnet.VTime(0)
+		for j := 0; j < 6; j++ {
+			var err error
+			_, now, err = sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%d", j)), now)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		now = sys.Converge(now)
+		_, now, err := sys.AddStorageNode("D00", now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.Publish("D00", triples, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(triples)), "triples/op")
+}
+
+func BenchmarkNTriplesParse(b *testing.B) {
+	d := workload.Generate(workload.Config{Persons: 200, Providers: 1, Seed: 6})
+	var sb strings.Builder
+	if err := rdf.WriteNTriples(&sb, d.ByProvider["D00"]); err != nil {
+		b.Fatal(err)
+	}
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdf.ParseNTriples(strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllExperiments regenerates the full EXPERIMENTS.md table set
+// in one go (the `benchmark` command's workload).
+func BenchmarkRunAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

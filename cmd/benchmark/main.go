@@ -1,0 +1,42 @@
+// Command benchmark runs the evaluation harness: every experiment of the
+// DESIGN.md per-experiment index (E1–E12), printing one table per
+// experiment. This regenerates the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchmark            # run everything
+//	benchmark -run E4    # run one experiment
+//	benchmark -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocshare/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *run != "" {
+		if err := experiments.RunOne(os.Stdout, *run); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := experiments.RunAll(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}

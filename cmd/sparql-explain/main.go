@@ -1,0 +1,83 @@
+// Command sparql-explain parses a SPARQL query and prints its abstract
+// syntax, the translated SPARQL algebra expression and the optimized plan
+// (filter pushing + heuristic join reordering) — the first three stages of
+// the paper's Fig. 3 workflow, offline.
+//
+// Usage:
+//
+//	sparql-explain 'SELECT ?x WHERE { ... }'
+//	sparql-explain -f query.rq
+//	echo 'ASK { ... }' | sparql-explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+	"adhocshare/internal/sparql/optimize"
+)
+
+func main() {
+	file := flag.String("f", "", "read the query from a file instead of the argument")
+	noPush := flag.Bool("no-push", false, "disable filter pushing")
+	noReorder := flag.Bool("no-reorder", false, "disable join reordering")
+	flag.Parse()
+
+	query, err := readQuery(*file, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("form:       %s\n", q.Form)
+	if len(q.SelectVars) > 0 {
+		fmt.Printf("projection: ?%s\n", strings.Join(q.SelectVars, " ?"))
+	}
+	if q.Star {
+		fmt.Println("projection: *")
+	}
+	for _, g := range q.From {
+		fmt.Printf("from:       <%s>\n", g)
+	}
+	for _, g := range q.FromNamed {
+		fmt.Printf("from named: <%s>\n", g)
+	}
+	if q.Where != nil {
+		fmt.Printf("where:      %s\n", q.Where)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("algebra:    %s\n", op)
+	opt := optimize.Optimize(op, optimize.Options{
+		PushFilters: !*noPush,
+		ReorderBGP:  !*noReorder,
+	})
+	fmt.Printf("optimized:  %s\n", opt)
+	fmt.Printf("operators:  %d → %d\n", algebra.CountOps(op), algebra.CountOps(opt))
+}
+
+func readQuery(file string, args []string) (string, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	if len(args) > 0 {
+		return strings.Join(args, " "), nil
+	}
+	b, err := io.ReadAll(os.Stdin)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sparql-explain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Range-query scenario: numeric range retrieval ("find people aged 25-40")
+// in two worlds. The hybrid ad-hoc system resolves the range as a
+// predicate-key lookup plus a filter pushed to every provider; the
+// RDFPeers baseline maps numeric objects onto the ring with a
+// locality-preserving hash, so a range touches only the contiguous arc of
+// nodes covering the interval (the Sect. II technique). The example prints
+// both executions side by side across widening ranges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adhocshare"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/rdfpeers"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/workload"
+)
+
+func main() {
+	data := workload.Generate(workload.Config{
+		Persons: 300, Providers: 10, AvgKnows: 2, Seed: 19,
+	})
+	agePred := rdf.NewIRI(workload.FOAF + "age")
+
+	// --- hybrid deployment ---
+	hybrid, err := adhocshare.NewSystem(adhocshare.Config{IndexNodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range data.Providers() {
+		if err := hybrid.AddProvider(name, data.ByProvider[name]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- RDFPeers ring with the LPH range index over the age domain ---
+	rp := rdfpeers.NewSystem(24, simnet.Config{
+		BaseLatency: 2 * time.Millisecond, Bandwidth: 1 << 20,
+	})
+	if err := rp.EnableRangeIndex(0, 120); err != nil {
+		log.Fatal(err)
+	}
+	now := simnet.VTime(0)
+	for i := 0; i < 10; i++ {
+		_, done, err := rp.AddNode(simnet.Addr(fmt.Sprintf("rp-%02d", i)), now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = done
+	}
+	now = rp.Converge(now)
+	for _, name := range data.Providers() {
+		done, err := rp.StoreAll("rp-00", data.ByProvider[name], now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = done
+	}
+
+	fmt.Printf("%-10s %-24s %8s %6s %10s %8s\n",
+		"range", "system", "answers", "msgs", "KiB", "resp-ms")
+	for _, rng := range [][2]int{{30, 35}, {25, 45}, {20, 60}, {18, 78}} {
+		lo, hi := rng[0], rng[1]
+
+		res, stats, err := hybrid.Query("D00", workload.QueryAgeRange(lo, hi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%2d,%2d)    %-24s %8d %6d %10.1f %8.1f\n",
+			lo, hi, "hybrid pushed-filter", len(res.Solutions), stats.Messages,
+			float64(stats.Bytes)/1024, float64(stats.ResponseTime)/float64(time.Millisecond))
+
+		before := rp.Net().Metrics()
+		start := now
+		ts, visited, done, err := rp.QueryRange("rp-00", agePred, float64(lo), float64(hi-1), now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = done
+		delta := rp.Net().Metrics().Sub(before)
+		fmt.Printf("[%2d,%2d)    %-24s %8d %6d %10.1f %8.1f   (%d arc nodes)\n",
+			lo, hi, "rdfpeers LPH arc", len(ts), delta.Messages,
+			float64(delta.Bytes)/1024,
+			float64((now-start).Duration())/float64(time.Millisecond), visited)
+	}
+	fmt.Println("\nnarrow ranges touch only a short ring arc under LPH; the hybrid")
+	fmt.Println("system pays a fan-out to every provider but keeps data ownership local.")
+}

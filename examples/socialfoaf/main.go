@@ -1,0 +1,72 @@
+// Social-network scenario: a larger generated FOAF web spread over many
+// personal devices — the workload the paper's introduction motivates.
+// Runs every query form of the paper's Figs. 4–9 and compares basic vs.
+// optimized distributed execution on each.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adhocshare"
+	"adhocshare/internal/workload"
+)
+
+func main() {
+	// Generate a 300-person social web over 12 devices with popularity
+	// skew: a few "celebrities" are known by many, so location-table
+	// frequencies (Table I) differ wildly between providers.
+	data := workload.Generate(workload.Config{
+		Persons: 300, Providers: 12, AvgKnows: 4,
+		ZipfS: 1.3, KnowsNothingFraction: 0.3, Seed: 7,
+	})
+
+	sys, err := adhocshare.NewSystem(adhocshare.Config{IndexNodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range data.Providers() {
+		if err := sys.AddProvider(name, data.ByProvider[name]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap := sys.Snapshot()
+	fmt.Printf("deployment: %d index nodes, %d providers, %d triples shared\n\n",
+		snap.IndexNodes, snap.StorageNodes, snap.TotalTriples)
+
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"Fig. 5 primitive (who knows the celebrity?)", workload.QueryPrimitive(data.PopularPerson)},
+		{"Fig. 6 conjunction", workload.QueryConjunction()},
+		{"Fig. 7 optional", workload.QueryOptional("Smith")},
+		{"Fig. 8 union", workload.QueryUnion(data.PopularPerson)},
+		{"Fig. 9 filter + optional", workload.QueryFilter("Smith")},
+		{"Fig. 4 full query", workload.QueryFig4("Smith")},
+	}
+	for _, q := range queries {
+		resBasic, basic, err := sys.QueryWith("D00", q.query, adhocshare.BaselineQueryOptions())
+		if err != nil {
+			log.Fatalf("%s: %v", q.name, err)
+		}
+		resOpt, opt, err := sys.QueryWith("D00", q.query, adhocshare.DefaultQueryOptions())
+		if err != nil {
+			log.Fatalf("%s: %v", q.name, err)
+		}
+		if len(resBasic.Solutions) != len(resOpt.Solutions) {
+			log.Fatalf("%s: strategies disagree (%d vs %d solutions)",
+				q.name, len(resBasic.Solutions), len(resOpt.Solutions))
+		}
+		fmt.Printf("%-45s %4d solutions\n", q.name, len(resOpt.Solutions))
+		fmt.Printf("  basic:     %5d msgs  %8.1f KiB  %7.1f ms\n",
+			basic.Messages, float64(basic.Bytes)/1024, msf(basic.ResponseTime))
+		fmt.Printf("  optimized: %5d msgs  %8.1f KiB  %7.1f ms  (solution traffic %.1f vs %.1f KiB)\n\n",
+			opt.Messages, float64(opt.Bytes)/1024, msf(opt.ResponseTime),
+			float64(opt.ShippedSolutionBytes())/1024,
+			float64(basic.ShippedSolutionBytes())/1024)
+	}
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

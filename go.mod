@@ -1,0 +1,3 @@
+module adhocshare
+
+go 1.22

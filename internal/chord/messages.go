@@ -1,0 +1,60 @@
+package chord
+
+import "adhocshare/internal/simnet"
+
+// RPC method names. The "chord." prefix lets experiments separate DHT
+// maintenance and routing traffic from query traffic in simnet metrics.
+const (
+	MethodFindSuccessor  = "chord.find_successor"
+	MethodGetPredecessor = "chord.get_predecessor"
+	MethodGetSuccList    = "chord.get_successor_list"
+	MethodNotify         = "chord.notify"
+	MethodPing           = "chord.ping"
+	MethodSetPredecessor = "chord.set_predecessor"
+	MethodSetSuccessor   = "chord.set_successor"
+)
+
+// Ref identifies a ring member: its identifier and network address.
+type Ref struct {
+	ID   ID
+	Addr simnet.Addr
+}
+
+// SizeBytes implements simnet.Payload.
+func (r Ref) SizeBytes() int { return 8 + len(r.Addr) }
+
+// IsZero reports whether the reference is unset.
+func (r Ref) IsZero() bool { return r.Addr == "" }
+
+// FindReq asks for the successor of Target; Hops counts forwarding steps
+// taken so far.
+type FindReq struct {
+	Target ID
+	Hops   int
+}
+
+// SizeBytes implements simnet.Payload.
+func (FindReq) SizeBytes() int { return 12 }
+
+// FindResp carries the found successor and the total hop count.
+type FindResp struct {
+	Node Ref
+	Hops int
+}
+
+// SizeBytes implements simnet.Payload.
+func (r FindResp) SizeBytes() int { return r.Node.SizeBytes() + 4 }
+
+// RefList carries a successor list.
+type RefList struct {
+	Refs []Ref
+}
+
+// SizeBytes implements simnet.Payload.
+func (l RefList) SizeBytes() int {
+	n := 4
+	for _, r := range l.Refs {
+		n += r.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,422 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"adhocshare/internal/simnet"
+)
+
+// Config parameterizes a ring member.
+type Config struct {
+	// Bits is the identifier-circle width m (default 32). The paper's
+	// Fig. 1 uses a 4-bit space.
+	Bits uint
+	// SuccListSize is the successor-list length r used for failure
+	// resilience (default 4).
+	SuccListSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 || c.Bits > 64 {
+		c.Bits = 32
+	}
+	if c.SuccListSize <= 0 {
+		c.SuccListSize = 4
+	}
+	return c
+}
+
+// Node is one Chord ring member. It does not register itself on the
+// network: the owner (an overlay index node) registers a handler and
+// delegates methods with the "chord." prefix to HandleCall.
+type Node struct {
+	cfg  Config
+	id   ID
+	addr simnet.Addr
+	net  *simnet.Network
+
+	mu      sync.RWMutex
+	succ    []Ref // successor list, succ[0] is the immediate successor
+	pred    Ref
+	fingers []Ref // fingers[k] ≈ successor(id + 2^k)
+	nextFix int   // round-robin finger refresh cursor
+}
+
+// NewNode creates a ring member with the given identifier. Use HashID to
+// derive the identifier from the address, or pass an explicit ID to
+// reconstruct fixed topologies such as the paper's Fig. 1.
+func NewNode(net *simnet.Network, addr simnet.Addr, id ID, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		id:      id.truncate(cfg.Bits),
+		addr:    addr,
+		net:     net,
+		fingers: make([]Ref, cfg.Bits),
+	}
+	return n
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.Addr { return n.addr }
+
+// Ref returns the node's own reference.
+func (n *Node) Ref() Ref { return Ref{ID: n.id, Addr: n.addr} }
+
+// Successor returns the current immediate successor.
+func (n *Node) Successor() Ref {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.succ) == 0 {
+		return n.Ref()
+	}
+	return n.succ[0]
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []Ref {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]Ref(nil), n.succ...)
+}
+
+// Predecessor returns the current predecessor (zero when unknown).
+func (n *Node) Predecessor() Ref {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.pred
+}
+
+// Create initializes a one-node ring.
+func (n *Node) Create() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.succ = []Ref{n.Ref()}
+	n.pred = Ref{}
+	for i := range n.fingers {
+		n.fingers[i] = n.Ref()
+	}
+}
+
+// ErrLookupFailed is returned when routing cannot proceed (all candidate
+// next hops unreachable).
+var ErrLookupFailed = errors.New("chord: lookup failed")
+
+// Join inserts the node into the ring known to exist via the bootstrap
+// address. It returns the virtual completion time.
+func (n *Node) Join(bootstrap simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
+	resp, done, err := n.net.Call(n.addr, bootstrap, MethodFindSuccessor,
+		FindReq{Target: n.id}, at)
+	if err != nil {
+		return done, fmt.Errorf("chord: join via %s: %w", bootstrap, err)
+	}
+	succ := resp.(FindResp).Node
+	n.mu.Lock()
+	n.succ = []Ref{succ}
+	n.pred = Ref{}
+	for i := range n.fingers {
+		n.fingers[i] = succ
+	}
+	n.mu.Unlock()
+	return done, nil
+}
+
+// Lookup resolves the successor of target, counting forwarding hops. The
+// initiating node's own routing step is free (local decision); each
+// forward is one simnet call.
+func (n *Node) Lookup(target ID, at simnet.VTime) (Ref, int, simnet.VTime, error) {
+	resp, done, err := n.handleFindSuccessor(at, FindReq{Target: target.truncate(n.cfg.Bits)})
+	if err != nil {
+		return Ref{}, 0, done, err
+	}
+	return resp.Node, resp.Hops, done, nil
+}
+
+// HandleCall dispatches chord RPC methods; the owner's simnet handler
+// forwards "chord."-prefixed methods here.
+func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	switch method {
+	case MethodFindSuccessor:
+		return n.handleFindSuccessorPayload(at, req)
+	case MethodGetPredecessor:
+		return n.Predecessor(), at, nil
+	case MethodGetSuccList:
+		return RefList{Refs: n.SuccessorList()}, at, nil
+	case MethodNotify:
+		r, ok := req.(Ref)
+		if !ok {
+			return nil, at, fmt.Errorf("chord: notify payload %T", req)
+		}
+		n.notify(r)
+		return simnet.Bytes(1), at, nil
+	case MethodPing:
+		return simnet.Bytes(1), at, nil
+	case MethodSetPredecessor:
+		r, _ := req.(Ref)
+		n.mu.Lock()
+		n.pred = r
+		n.mu.Unlock()
+		return simnet.Bytes(1), at, nil
+	case MethodSetSuccessor:
+		r, _ := req.(Ref)
+		n.mu.Lock()
+		if !r.IsZero() {
+			n.succ = append([]Ref{r}, trimRefs(n.succ, n.cfg.SuccListSize-1)...)
+		}
+		n.mu.Unlock()
+		return simnet.Bytes(1), at, nil
+	default:
+		return nil, at, fmt.Errorf("chord: unknown method %s", method)
+	}
+}
+
+func trimRefs(refs []Ref, max int) []Ref {
+	if max < 0 {
+		max = 0
+	}
+	if len(refs) > max {
+		refs = refs[:max]
+	}
+	return refs
+}
+
+func (n *Node) handleFindSuccessorPayload(at simnet.VTime, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	fr, ok := req.(FindReq)
+	if !ok {
+		return nil, at, fmt.Errorf("chord: find_successor payload %T", req)
+	}
+	resp, done, err := n.handleFindSuccessor(at, fr)
+	if err != nil {
+		return nil, done, err
+	}
+	return resp, done, nil
+}
+
+// handleFindSuccessor implements the recursive Chord routing step with
+// failure fallback along progressively closer fingers and the successor
+// list.
+func (n *Node) handleFindSuccessor(at simnet.VTime, req FindReq) (FindResp, simnet.VTime, error) {
+	succ := n.Successor()
+	if succ.Addr == n.addr || betweenRightIncl(req.Target, n.id, succ.ID) {
+		return FindResp{Node: succ, Hops: req.Hops}, at, nil
+	}
+	now := at
+	for _, next := range n.routeCandidates(req.Target) {
+		resp, done, err := n.net.Call(n.addr, next.Addr, MethodFindSuccessor,
+			FindReq{Target: req.Target, Hops: req.Hops + 1}, now)
+		if err == nil {
+			return resp.(FindResp), done, nil
+		}
+		// Unreachable next hop: remember the time wasted and try the next
+		// candidate (the successor list / farther fingers).
+		now = done
+		n.evict(next.Addr)
+	}
+	return FindResp{}, now, fmt.Errorf("%w: target %v from %v", ErrLookupFailed, req.Target, n.id)
+}
+
+// routeCandidates lists possible next hops for the target in preference
+// order: the closest preceding finger first, then successor-list entries.
+func (n *Node) routeCandidates(target ID) []Ref {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []Ref
+	seen := map[simnet.Addr]bool{n.addr: true}
+	add := func(r Ref) {
+		if !r.IsZero() && !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if !f.IsZero() && between(f.ID, n.id, target) {
+			add(f)
+		}
+	}
+	for _, s := range n.succ {
+		add(s)
+	}
+	return out
+}
+
+// evict removes a failed address from the finger table and successor list
+// so future routing avoids it until stabilization repopulates.
+func (n *Node) evict(addr simnet.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, f := range n.fingers {
+		if f.Addr == addr {
+			n.fingers[i] = Ref{}
+		}
+	}
+	var keep []Ref
+	for _, s := range n.succ {
+		if s.Addr != addr {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) == 0 {
+		keep = []Ref{n.Ref()} // last resort: point at self until repaired
+	}
+	n.succ = keep
+	if n.pred.Addr == addr {
+		n.pred = Ref{}
+	}
+}
+
+// notify is Chord's notify(n'): n' might be our predecessor.
+func (n *Node) notify(cand Ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cand.Addr == n.addr {
+		return
+	}
+	if n.pred.IsZero() || between(cand.ID, n.pred.ID, n.id) || !n.net.Alive(n.pred.Addr) {
+		n.pred = cand
+	}
+}
+
+// Stabilize runs one round of the Chord stabilization protocol and refreshes
+// the successor list. It returns the virtual completion time.
+func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
+	succ := n.Successor()
+	now := at
+	if succ.Addr == n.addr {
+		// Pointing at ourselves (ring creator or sole survivor): a joiner
+		// that notified us appears as our predecessor — adopt it as the
+		// successor to close the ring.
+		pred := n.Predecessor()
+		if !pred.IsZero() && n.net.Alive(pred.Addr) {
+			n.mu.Lock()
+			n.succ = []Ref{pred}
+			n.mu.Unlock()
+			succ = pred
+		}
+	}
+	if succ.Addr != n.addr {
+		resp, done, err := n.net.Call(n.addr, succ.Addr, MethodGetPredecessor, simnet.Bytes(1), now)
+		now = done
+		if err != nil {
+			n.evict(succ.Addr)
+			succ = n.Successor()
+		} else if x, ok := resp.(Ref); ok && !x.IsZero() && between(x.ID, n.id, succ.ID) && n.net.Alive(x.Addr) {
+			n.mu.Lock()
+			n.succ = append([]Ref{x}, trimRefs(n.succ, n.cfg.SuccListSize-1)...)
+			n.mu.Unlock()
+			succ = x
+		}
+	}
+	if succ.Addr != n.addr {
+		_, done, err := n.net.Call(n.addr, succ.Addr, MethodNotify, n.Ref(), now)
+		now = done
+		if err != nil {
+			n.evict(succ.Addr)
+		}
+	}
+	// Refresh the successor list from the (possibly new) successor.
+	succ = n.Successor()
+	if succ.Addr != n.addr {
+		resp, done, err := n.net.Call(n.addr, succ.Addr, MethodGetSuccList, simnet.Bytes(1), now)
+		now = done
+		if err == nil {
+			list := resp.(RefList).Refs
+			merged := append([]Ref{succ}, trimRefs(list, n.cfg.SuccListSize-1)...)
+			var dedup []Ref
+			seen := map[simnet.Addr]bool{}
+			for _, r := range merged {
+				if r.Addr != n.addr && !seen[r.Addr] {
+					seen[r.Addr] = true
+					dedup = append(dedup, r)
+				}
+			}
+			n.mu.Lock()
+			n.succ = trimRefs(dedup, n.cfg.SuccListSize)
+			n.mu.Unlock()
+		} else {
+			n.evict(succ.Addr)
+		}
+	} else {
+		// Sole survivor: close the ring on self.
+		n.mu.Lock()
+		n.succ = []Ref{n.Ref()}
+		n.mu.Unlock()
+	}
+	return now
+}
+
+// FixFingers refreshes one finger per call, cycling through the table; this
+// mirrors Chord's periodic fix_fingers task.
+func (n *Node) FixFingers(at simnet.VTime) simnet.VTime {
+	n.mu.Lock()
+	k := n.nextFix
+	n.nextFix = (n.nextFix + 1) % int(n.cfg.Bits)
+	n.mu.Unlock()
+	target := n.id.add(uint(k), n.cfg.Bits)
+	resp, _, done, err := n.Lookup(target, at)
+	if err != nil {
+		return done
+	}
+	n.mu.Lock()
+	n.fingers[k] = resp
+	n.mu.Unlock()
+	return done
+}
+
+// FixAllFingers refreshes the whole finger table (used after join and in
+// tests to reach a converged routing state quickly).
+func (n *Node) FixAllFingers(at simnet.VTime) simnet.VTime {
+	now := at
+	for k := uint(0); k < n.cfg.Bits; k++ {
+		target := n.id.add(k, n.cfg.Bits)
+		resp, _, done, err := n.Lookup(target, now)
+		now = done
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.fingers[k] = resp
+		n.mu.Unlock()
+	}
+	return now
+}
+
+// CheckPredecessor clears the predecessor if it no longer answers pings.
+func (n *Node) CheckPredecessor(at simnet.VTime) simnet.VTime {
+	pred := n.Predecessor()
+	if pred.IsZero() {
+		return at
+	}
+	_, done, err := n.net.Call(n.addr, pred.Addr, MethodPing, simnet.Bytes(1), at)
+	if err != nil {
+		n.mu.Lock()
+		n.pred = Ref{}
+		n.mu.Unlock()
+	}
+	return done
+}
+
+// Leave performs a graceful departure: the predecessor's successor pointer
+// and the successor's predecessor pointer are rewired around this node
+// (Sect. III-D; the location-table handover happens at the overlay layer).
+func (n *Node) Leave(at simnet.VTime) simnet.VTime {
+	succ := n.Successor()
+	pred := n.Predecessor()
+	now := at
+	if succ.Addr != n.addr && !pred.IsZero() {
+		_, done, err := n.net.Call(n.addr, pred.Addr, MethodSetSuccessor, succ, now)
+		now = done
+		_ = err
+	}
+	if !pred.IsZero() && succ.Addr != n.addr {
+		_, done, err := n.net.Call(n.addr, succ.Addr, MethodSetPredecessor, pred, now)
+		now = done
+		_ = err
+	}
+	return now
+}

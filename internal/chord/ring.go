@@ -1,0 +1,112 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocshare/internal/simnet"
+)
+
+// Standalone registers the node directly as the simnet handler for its
+// address. The overlay index node instead embeds the chord node and
+// delegates; Standalone is for pure-DHT deployments and tests.
+func (n *Node) Standalone() {
+	n.net.Register(n.addr, simnet.HandlerFunc(n.HandleCall))
+}
+
+// BuildRing constructs a converged ring from the given (addr, id) pairs on
+// the network: the first node creates the ring, the rest join through it,
+// and stabilization runs until pointers converge. It returns the nodes
+// sorted by identifier and the virtual completion time.
+//
+// Nodes are registered standalone; callers embedding chord nodes in larger
+// handlers should drive Create/Join/Stabilize themselves.
+func BuildRing(net *simnet.Network, refs []Ref, cfg Config, at simnet.VTime) ([]*Node, simnet.VTime, error) {
+	if len(refs) == 0 {
+		return nil, at, fmt.Errorf("chord: empty ring")
+	}
+	nodes := make([]*Node, len(refs))
+	for i, r := range refs {
+		nodes[i] = NewNode(net, r.Addr, r.ID, cfg)
+		nodes[i].Standalone()
+	}
+	nodes[0].Create()
+	now := at
+	for _, n := range nodes[1:] {
+		done, err := n.Join(nodes[0].Addr(), now)
+		now = done
+		if err != nil {
+			return nil, now, err
+		}
+		// A couple of immediate stabilization rounds keep the ring usable
+		// while the remaining nodes join.
+		now = n.Stabilize(now)
+		now = nodes[0].Stabilize(now)
+	}
+	now = Converge(nodes, now)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID() < nodes[j].ID() })
+	return nodes, now, nil
+}
+
+// Converge runs stabilization and finger repair until every live node's
+// successor matches the sorted ring order (or the round budget runs out),
+// then refreshes all finger tables. It returns the virtual completion time.
+func Converge(nodes []*Node, at simnet.VTime) simnet.VTime {
+	now := at
+	for round := 0; round < 2*len(nodes)+4; round++ {
+		for _, n := range nodes {
+			if !n.net.Alive(n.Addr()) {
+				continue
+			}
+			now = n.Stabilize(now)
+		}
+		if ringConsistent(nodes) {
+			break
+		}
+	}
+	for _, n := range nodes {
+		if !n.net.Alive(n.Addr()) {
+			continue
+		}
+		now = n.FixAllFingers(now)
+	}
+	return now
+}
+
+// StabilizeRound runs one maintenance round (stabilize, one finger fix,
+// predecessor check) on every live node — the periodic tasks of Chord
+// driven deterministically by the simulation.
+func StabilizeRound(nodes []*Node, at simnet.VTime) simnet.VTime {
+	now := at
+	for _, n := range nodes {
+		if !n.net.Alive(n.Addr()) {
+			continue
+		}
+		now = n.Stabilize(now)
+		now = n.FixFingers(now)
+		now = n.CheckPredecessor(now)
+	}
+	return now
+}
+
+// ringConsistent checks that live nodes form one cycle in identifier order.
+func ringConsistent(nodes []*Node) bool {
+	var live []*Node
+	for _, n := range nodes {
+		if n.net.Alive(n.Addr()) {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	sorted := append([]*Node(nil), live...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	for i, n := range sorted {
+		want := sorted[(i+1)%len(sorted)]
+		if n.Successor().Addr != want.Addr() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package dqp
+
+import (
+	"fmt"
+	"time"
+
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/sparql/optimize"
+)
+
+// Engine executes SPARQL queries over a hybrid overlay deployment,
+// implementing the workflow of the paper's Fig. 3.
+type Engine struct {
+	sys   *overlay.System
+	opts  Options
+	cache *lookupCache
+}
+
+// NewEngine creates an engine over the given deployment. An engine holds
+// per-initiator state (the optional lookup cache), so reuse one engine per
+// querying node to benefit from caching.
+func NewEngine(sys *overlay.System, opts Options) *Engine {
+	return &Engine{sys: sys, opts: opts, cache: newLookupCache(0)}
+}
+
+// CachedLookups reports the number of memoized index resolutions.
+func (e *Engine) CachedLookups() int { return e.cache.Len() }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Result is the outcome of one query.
+type Result struct {
+	// Vars are the projected variable names (SELECT).
+	Vars []string
+	// Solutions is the final solution sequence.
+	Solutions eval.Solutions
+	// IsAsk marks an ASK query; Ask is its boolean answer.
+	IsAsk bool
+	Ask   bool
+	// Triples carries CONSTRUCT/DESCRIBE output.
+	Triples []rdf.Triple
+	// Plan is the optimized algebra plan, for explain output.
+	Plan string
+}
+
+// qctx threads per-query execution state: the engine-side accounting that
+// is not derivable from network metrics.
+type qctx struct {
+	initiator simnet.Addr
+	// dataset carries the query's FROM graph IRIs (nil = the union of all
+	// shared triples, Sect. IV-A); fromNamed the FROM NAMED IRIs available
+	// to GRAPH patterns.
+	dataset   []string
+	fromNamed []string
+	// existenceOnly marks ASK queries: a single complete solution
+	// suffices, so single-pattern executions may stop early.
+	existenceOnly bool
+	hops          int
+	subq          int
+	targets       map[simnet.Addr]bool
+	drops         int
+}
+
+// Query parses, optimizes and executes a query issued by the given
+// initiator node at virtual time at. It returns the result, cost
+// statistics and the virtual completion time.
+func (e *Engine) Query(initiator simnet.Addr, query string, at simnet.VTime) (*Result, Stats, simnet.VTime, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, Stats{}, at, err
+	}
+	return e.Run(initiator, q, at)
+}
+
+// Run executes an already-parsed query.
+func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*Result, Stats, simnet.VTime, error) {
+	if q.Form == sparql.FormDescribe && q.Where == nil {
+		return e.runBareDescribe(initiator, q, at)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		return nil, Stats{}, at, err
+	}
+	// Global query optimization (Fig. 3): algebraic rewrites at the
+	// initiator. Join reordering by location-table frequencies happens at
+	// plan time inside exec, where the postings are available.
+	op = optimize.Optimize(op, optimize.Options{
+		PushFilters: e.opts.PushFilters,
+		ReorderBGP:  false,
+	})
+
+	before := e.sys.Net().Metrics()
+	ctx := &qctx{initiator: initiator, dataset: q.From, fromNamed: q.FromNamed,
+		existenceOnly: q.Form == sparql.FormAsk, targets: map[simnet.Addr]bool{}}
+
+	res, done, err := e.exec(ctx, op, at)
+	if err != nil {
+		return nil, Stats{}, done, err
+	}
+	// Post-processing happens at the initiator: ship the final solutions
+	// home first (Fig. 3 "Post-Processing").
+	res, done, err = e.shipTo(res, ctx.initiator, methodResult, done)
+	if err != nil {
+		return nil, Stats{}, done, err
+	}
+
+	out := &Result{Plan: op.String(), Solutions: res.sols}
+	switch q.Form {
+	case sparql.FormSelect:
+		out.Vars = op.Vars()
+	case sparql.FormAsk:
+		out.IsAsk = true
+		out.Ask = len(res.sols) > 0
+	case sparql.FormConstruct:
+		out.Triples = eval.Construct(q.Template, res.sols)
+	case sparql.FormDescribe:
+		var ts []rdf.Triple
+		ts, done, err = e.describe(ctx, q, res.sols, done)
+		if err != nil {
+			return nil, Stats{}, done, err
+		}
+		out.Triples = ts
+	}
+
+	delta := e.sys.Net().Metrics().Sub(before)
+	stats := Stats{
+		Messages:         delta.Messages,
+		Bytes:            delta.Bytes,
+		PerMethod:        delta.PerMethod,
+		ResponseTime:     time.Duration(done - at),
+		LookupHops:       ctx.hops,
+		Subqueries:       ctx.subq,
+		TargetsContacted: len(ctx.targets),
+		StaleDrops:       ctx.drops,
+		Solutions:        len(out.Solutions),
+	}
+	return out, stats, done, nil
+}
+
+// runBareDescribe handles DESCRIBE with no WHERE clause: the describe
+// terms are resolved directly.
+func (e *Engine) runBareDescribe(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*Result, Stats, simnet.VTime, error) {
+	before := e.sys.Net().Metrics()
+	ctx := &qctx{initiator: initiator, targets: map[simnet.Addr]bool{}}
+	ts, done, err := e.describe(ctx, q, nil, at)
+	if err != nil {
+		return nil, Stats{}, done, err
+	}
+	delta := e.sys.Net().Metrics().Sub(before)
+	stats := Stats{
+		Messages:         delta.Messages,
+		Bytes:            delta.Bytes,
+		PerMethod:        delta.PerMethod,
+		ResponseTime:     time.Duration(done - at),
+		LookupHops:       ctx.hops,
+		Subqueries:       ctx.subq,
+		TargetsContacted: len(ctx.targets),
+		StaleDrops:       ctx.drops,
+	}
+	return &Result{Triples: ts, Plan: "Describe"}, stats, done, nil
+}
+
+// describe fetches all triples whose subject is one of the describe terms
+// (constants, or variable bindings from the WHERE clause).
+func (e *Engine) describe(ctx *qctx, q *sparql.Query, sols eval.Solutions, at simnet.VTime) ([]rdf.Triple, simnet.VTime, error) {
+	resources := map[rdf.Term]bool{}
+	for _, t := range q.DescribeTerms {
+		if t.IsVar() {
+			for _, b := range sols {
+				if v, ok := b[t.Value]; ok {
+					resources[v] = true
+				}
+			}
+		} else {
+			resources[t] = true
+		}
+	}
+	if q.Star {
+		for _, b := range sols {
+			for _, v := range b {
+				if v.Kind == rdf.KindIRI {
+					resources[v] = true
+				}
+			}
+		}
+	}
+	seen := map[rdf.Triple]bool{}
+	var out []rdf.Triple
+	now := at
+	for r := range resources {
+		pat := rdf.Triple{S: r, P: rdf.NewVar("p"), O: rdf.NewVar("o")}
+		res, done, err := e.execBGP(ctx, []rdf.Triple{pat}, nil, rdf.Term{}, now)
+		now = done
+		if err != nil {
+			return nil, now, err
+		}
+		res, done, err = e.shipTo(res, ctx.initiator, methodResult, now)
+		now = done
+		if err != nil {
+			return nil, now, err
+		}
+		for _, b := range res.sols {
+			t := rdf.Triple{S: r, P: b["p"], O: b["o"]}
+			if t.IsConcrete() && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	rdf.SortTriples(out)
+	return out, now, nil
+}
+
+// Explain returns the optimized algebra plan for a query without running
+// it.
+func (e *Engine) Explain(query string) (string, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		return "", err
+	}
+	op = optimize.Optimize(op, optimize.Options{
+		PushFilters: e.opts.PushFilters,
+		ReorderBGP:  e.opts.ReorderJoins,
+	})
+	return op.String(), nil
+}
+
+// errUnsupported marks operators the distributed executor cannot place.
+func errUnsupported(op algebra.Op) error {
+	return fmt.Errorf("dqp: unsupported operator %T in distributed plan", op)
+}

@@ -1,0 +1,783 @@
+package dqp
+
+import (
+	"errors"
+	"sort"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/sparql/optimize"
+)
+
+// siteSet is a solution multiset together with the node it currently
+// resides on — the unit of data the executor moves between sites.
+type siteSet struct {
+	sols eval.Solutions
+	site simnet.Addr
+}
+
+// exec evaluates an algebra operator distributedly and returns the
+// resulting solutions, their site and the virtual completion time.
+func (e *Engine) exec(ctx *qctx, op algebra.Op, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	switch o := op.(type) {
+	case *algebra.BGP:
+		return e.execBGP(ctx, o.Patterns, nil, rdf.Term{}, at)
+	case *algebra.Graph:
+		// GRAPH scope: the inner BGP (optionally with a pushed filter)
+		// ships with the graph name; providers match against their named
+		// graphs (Sect. IV-A named-graph matching).
+		switch inner := o.Input.(type) {
+		case *algebra.BGP:
+			return e.execBGP(ctx, inner.Patterns, nil, o.Name, at)
+		case *algebra.Filter:
+			if bgp, ok := inner.Input.(*algebra.BGP); ok {
+				return e.execBGP(ctx, bgp.Patterns, inner.Expr, o.Name, at)
+			}
+		}
+		return siteSet{}, at, errUnsupported(op)
+	case *algebra.Filter:
+		// A filter directly above a BGP ships with the sub-queries and
+		// runs at the storage nodes (Sect. IV-G filter pushing); otherwise
+		// it is applied where its input's solutions reside.
+		if bgp, ok := o.Input.(*algebra.BGP); ok && e.opts.PushFilters {
+			return e.execBGP(ctx, bgp.Patterns, o.Expr, rdf.Term{}, at)
+		}
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.FilterSolutions(in.sols, o.Expr)
+		return in, done, nil
+	case *algebra.Join:
+		l, r, done, err := e.execBranches(ctx, o.Left, o.Right, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		return e.mergeAt(ctx, l, r, done, func(a, b eval.Solutions) eval.Solutions {
+			return eval.Join(a, b)
+		})
+	case *algebra.LeftJoin:
+		l, r, done, err := e.execBranches(ctx, o.Left, o.Right, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		// OPTIONAL: the move-small placement of Sect. IV-E — but the left
+		// operand is the semantic anchor, so the merge function is not
+		// symmetric; mergeAt keeps operand order.
+		return e.mergeAt(ctx, l, r, done, func(a, b eval.Solutions) eval.Solutions {
+			return eval.LeftJoinFilter(a, b, o.Expr)
+		})
+	case *algebra.Union:
+		l, r, done, err := e.execBranches(ctx, o.Left, o.Right, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		return e.mergeAt(ctx, l, r, done, func(a, b eval.Solutions) eval.Solutions {
+			return eval.Union(a, b)
+		})
+	case *algebra.Project:
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.Project(in.sols, o.Names)
+		return in, done, nil
+	case *algebra.Distinct:
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.Distinct(in.sols)
+		return in, done, nil
+	case *algebra.Reduced:
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.Reduced(in.sols)
+		return in, done, nil
+	case *algebra.OrderBy:
+		// Sorting is a solution-sequence modifier applied during
+		// post-processing at the initiator (Fig. 3).
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in, done, err = e.shipTo(in, ctx.initiator, methodShip, done)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.Order(in.sols, o.Conds)
+		return in, done, nil
+	case *algebra.Slice:
+		in, done, err := e.exec(ctx, o.Input, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in, done, err = e.shipTo(in, ctx.initiator, methodShip, done)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		in.sols = eval.Slice(in.sols, o.Offset, o.Limit)
+		return in, done, nil
+	default:
+		return siteSet{}, at, errUnsupported(op)
+	}
+}
+
+// execBranches evaluates two operands starting at the same virtual time —
+// the branches proceed in parallel on disjoint nodes, so the combined
+// completion is each branch's own completion (the merge step takes the
+// max).
+func (e *Engine) execBranches(ctx *qctx, left, right algebra.Op, at simnet.VTime) (l, r siteSet, done simnet.VTime, err error) {
+	l, lDone, err := e.exec(ctx, left, at)
+	if err != nil {
+		return siteSet{}, siteSet{}, lDone, err
+	}
+	r, rDone, err := e.exec(ctx, right, at)
+	if err != nil {
+		return siteSet{}, siteSet{}, rDone, err
+	}
+	return l, r, simnet.MaxTime(lDone, rDone), nil
+}
+
+// mergeAt brings both operands to one site per the join-site policy and
+// applies the merge function there. Operand order is preserved (merge
+// functions may be asymmetric, e.g. left join).
+func (e *Engine) mergeAt(ctx *qctx, l, r siteSet, at simnet.VTime, merge func(a, b eval.Solutions) eval.Solutions) (siteSet, simnet.VTime, error) {
+	site, err := e.pickJoinSite(ctx, l, r)
+	if err != nil {
+		return siteSet{}, at, err
+	}
+	now := at
+	if l.site != site {
+		shipped, done, err := e.shipTo(l, site, methodShip, now)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		l = shipped
+		now = done
+	}
+	if r.site != site {
+		shipped, done, err := e.shipTo(r, site, methodShip, now)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		r = shipped
+		now = done
+	}
+	return siteSet{sols: merge(l.sols, r.sols), site: site}, now, nil
+}
+
+// pickJoinSite implements the join-site selection strategies of Sect. II.
+// A shared site always wins (the overlap optimization of Sect. IV-D).
+func (e *Engine) pickJoinSite(ctx *qctx, l, r siteSet) (simnet.Addr, error) {
+	if l.site == r.site {
+		return l.site, nil
+	}
+	switch e.opts.JoinSite {
+	case JoinSiteQuerySite:
+		return ctx.initiator, nil
+	case JoinSiteQoS:
+		return e.pickQoSSite(ctx, l, r), nil
+	case JoinSiteThirdSite:
+		// The paper's third-site strategy consults QoS monitors; with
+		// uniform simulated links we pick the first live index node that
+		// is neither operand site (deterministic).
+		for _, n := range e.sys.IndexNodes() {
+			a := n.Addr()
+			if a != l.site && a != r.site && e.sys.Net().Alive(a) {
+				return a, nil
+			}
+		}
+		return ctx.initiator, nil
+	default: // JoinSiteMoveSmall
+		if l.sols.SizeBytes() <= r.sols.SizeBytes() {
+			return r.site, nil
+		}
+		return l.site, nil
+	}
+}
+
+// pickQoSSite scores candidate join sites by link quality — the
+// "pushing QoS information into global query optimization" of Ye et al.
+// (the paper's third-site reference). The score is the virtual cost of
+// moving both operands to the candidate plus the estimated result's trip
+// to the initiator, all scaled by the measured link factors.
+func (e *Engine) pickQoSSite(ctx *qctx, l, r siteSet) simnet.Addr {
+	net := e.sys.Net()
+	lBytes := float64(l.sols.SizeBytes())
+	rBytes := float64(r.sols.SizeBytes())
+	// Result-size estimate: with shared variables the join is assumed
+	// containing (≈ the smaller operand); without any, it is a cross
+	// product of lRows×rRows rows, each the concatenation of one row from
+	// each side.
+	var resBytes float64
+	if haveSharedVars(l.sols, r.sols) {
+		resBytes = lBytes
+		if rBytes < resBytes {
+			resBytes = rBytes
+		}
+	} else {
+		resBytes = float64(len(r.sols))*lBytes + float64(len(l.sols))*rBytes
+	}
+	candidates := []simnet.Addr{l.site, r.site, ctx.initiator}
+	for _, n := range e.sys.IndexNodes() {
+		if net.Alive(n.Addr()) {
+			candidates = append(candidates, n.Addr())
+		}
+	}
+	best := simnet.Addr("")
+	bestCost := 0.0
+	for _, c := range candidates {
+		if c == "" || !net.Alive(c) {
+			continue
+		}
+		cost := 0.0
+		if c != l.site {
+			cost += lBytes * net.PathFactor(l.site, c)
+		}
+		if c != r.site {
+			cost += rBytes * net.PathFactor(r.site, c)
+		}
+		if c != ctx.initiator {
+			cost += resBytes * net.PathFactor(c, ctx.initiator)
+		}
+		if best == "" || cost < bestCost || (cost == bestCost && c < best) {
+			best = c
+			bestCost = cost
+		}
+	}
+	if best == "" {
+		return ctx.initiator
+	}
+	return best
+}
+
+// haveSharedVars reports whether any variable occurs on both sides.
+func haveSharedVars(a, b eval.Solutions) bool {
+	inA := map[string]bool{}
+	for _, m := range a {
+		for v := range m {
+			inA[v] = true
+		}
+	}
+	for _, m := range b {
+		for v := range m {
+			if inA[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shipTo moves a solution multiset to the destination site as one transfer
+// message. Shipping to the current site is free.
+func (e *Engine) shipTo(s siteSet, dest simnet.Addr, method string, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	if s.site == dest || s.site == "" {
+		s.site = dest
+		return s, at, nil
+	}
+	done, err := e.sys.Net().Transfer(s.site, dest, method,
+		overlay.SolutionsResp{Sols: s.sols}, at)
+	if err != nil {
+		return siteSet{}, done, err
+	}
+	s.site = dest
+	return s, done, nil
+}
+
+// patternPlan is the plan-time resolution of one triple pattern: its index
+// key, the responsible index node and the location-table row (with the
+// Table I frequencies that drive ordering decisions).
+type patternPlan struct {
+	pattern  rdf.Triple
+	hasKey   bool
+	key      chord.ID
+	index    simnet.Addr
+	postings []overlay.Posting
+	flood    bool
+	// stopOnFirst marks ASK executions of single-pattern BGPs: one
+	// solution proves existence, so the fan-out/chain may stop early.
+	stopOnFirst bool
+}
+
+// totalFreq is the number of matching triples across all targets — the
+// cardinality estimate the global optimizer uses.
+func (p patternPlan) totalFreq() int {
+	n := 0
+	for _, q := range p.postings {
+		n += q.Freq
+	}
+	return n
+}
+
+func (p patternPlan) targetAddrs() []simnet.Addr {
+	out := make([]simnet.Addr, len(p.postings))
+	for i, q := range p.postings {
+		out[i] = q.Node
+	}
+	return out
+}
+
+// planPatterns resolves every pattern of a BGP through the two-level
+// index: hash the bound attribute combination, route to the responsible
+// index node (level one), read the location-table row (level two). The
+// lookups run in parallel from the initiator; their cost is part of the
+// query cost.
+func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime) ([]patternPlan, simnet.VTime, error) {
+	plans := make([]patternPlan, len(patterns))
+	done := at
+	bits := e.sys.Config().Bits
+	for i, pat := range patterns {
+		plan := patternPlan{pattern: pat}
+		key, _, ok := overlay.PatternKey(pat, bits)
+		if !ok {
+			// All-variable pattern: no index key exists; fall back to
+			// flooding every storage node (the unstructured lower layer).
+			plan.flood = true
+			for _, st := range e.sys.StorageNodes() {
+				plan.postings = append(plan.postings, overlay.Posting{Node: st.Addr(), Freq: st.Graph.Size()})
+			}
+			plans[i] = plan
+			continue
+		}
+		plan.hasKey = true
+		plan.key = key
+		if e.opts.CacheLookups {
+			if row, ok := e.cache.get(key); ok && e.sys.Net().Alive(row.index) {
+				plan.index = row.index
+				plan.postings = append([]overlay.Posting(nil), row.postings...)
+				plans[i] = plan
+				continue
+			}
+		}
+		owner, hops, lookupDone, err := e.sys.ResolveKey(ctx.initiator, key, at)
+		if err != nil {
+			return nil, lookupDone, err
+		}
+		ctx.hops += hops
+		resp, lookupDone, err := e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
+			overlay.LookupReq{Key: key}, lookupDone)
+		if err != nil {
+			return nil, lookupDone, err
+		}
+		plan.index = owner
+		plan.postings = resp.(overlay.PostingsResp).Postings
+		if e.opts.CacheLookups {
+			e.cache.put(key, cachedRow{
+				index:    owner,
+				postings: append([]overlay.Posting(nil), plan.postings...),
+			})
+		}
+		plans[i] = plan
+		done = simnet.MaxTime(done, lookupDone)
+	}
+	return plans, done, nil
+}
+
+// execBGP evaluates a basic graph pattern distributedly. filter, when
+// non-nil, is decomposed into conjuncts and each conjunct ships with the
+// earliest sub-query whose variables cover it; leftovers apply at the end.
+func (e *Engine) execBGP(ctx *qctx, patterns []rdf.Triple, filter sparql.Expression, scope rdf.Term, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	if len(patterns) == 0 {
+		return siteSet{sols: eval.Solutions{eval.NewBinding()}, site: ctx.initiator}, at, nil
+	}
+	plans, now, err := e.planPatterns(ctx, patterns, at)
+	if err != nil {
+		return siteSet{}, now, err
+	}
+	if e.opts.ReorderJoins && len(plans) > 1 {
+		plans = reorderPlans(plans)
+	}
+	conjuncts := splitFilter(filter)
+
+	if ctx.existenceOnly && len(plans) == 1 {
+		// ASK over one pattern: the first matching solution settles it.
+		plans[0].stopOnFirst = true
+	}
+	var out siteSet
+	if e.opts.Conjunction == ConjParallelJoin && len(plans) > 1 {
+		out, now, err = e.execParallelJoin(ctx, plans, conjuncts, scope, now)
+	} else {
+		out, now, err = e.execPipeline(ctx, plans, conjuncts, scope, now)
+	}
+	if err != nil {
+		return siteSet{}, now, err
+	}
+	// Apply any filter conjuncts that could not be pushed (e.g. referring
+	// to variables bound only across patterns evaluated in parallel).
+	if rem := unshippedConjuncts(plans, conjuncts); rem != nil {
+		out.sols = eval.FilterSolutions(out.sols, rem)
+	}
+	return out, now, nil
+}
+
+// execPipeline runs the sequential conjunction of Sect. IV-D basic
+// processing: the accumulated solutions flow into each pattern's execution
+// as seeds (a distributed semi-join).
+func (e *Engine) execPipeline(ctx *qctx, plans []patternPlan, conjuncts []sparql.Expression, scope rdf.Term, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	cur := siteSet{sols: eval.Solutions{eval.NewBinding()}, site: ctx.initiator}
+	now := at
+	bound := map[string]bool{}
+	shipped := make([]bool, len(conjuncts))
+	for i := range plans {
+		for _, v := range plans[i].pattern.Vars() {
+			bound[v] = true
+		}
+		f := shippableFilter(conjuncts, shipped, bound)
+		var err error
+		cur, now, err = e.execPattern(ctx, plans[i], cur, f, scope, "", now)
+		if err != nil {
+			return siteSet{}, now, err
+		}
+		if len(cur.sols) == 0 {
+			// Empty intermediate result: the conjunction is empty
+			// (short-circuit; no further sub-queries needed).
+			return cur, now, nil
+		}
+	}
+	return cur, now, nil
+}
+
+// execParallelJoin runs the optimized conjunction of Sect. IV-D: every
+// pattern is evaluated over its own target set in parallel, chains are
+// ordered to end at a storage node shared with the neighbouring pattern
+// when one exists, and the per-pattern results are joined left to right at
+// assembly sites.
+func (e *Engine) execParallelJoin(ctx *qctx, plans []patternPlan, conjuncts []sparql.Expression, scope rdf.Term, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	results := make([]siteSet, len(plans))
+	times := make([]simnet.VTime, len(plans))
+	shipped := make([]bool, len(conjuncts))
+	for i := range plans {
+		// Per-pattern filters: conjuncts covered by this pattern alone.
+		vars := map[string]bool{}
+		for _, v := range plans[i].pattern.Vars() {
+			vars[v] = true
+		}
+		f := shippableFilter(conjuncts, shipped, vars)
+		// Prefer ending this pattern's chain at a node shared with the
+		// previous pattern's target set, so the join needs no shipping.
+		prefer := simnet.Addr("")
+		if i > 0 {
+			prefer = sharedTarget(plans[i-1], plans[i])
+		}
+		seed := siteSet{sols: eval.Solutions{eval.NewBinding()}, site: ctx.initiator}
+		res, done, err := e.execPattern(ctx, plans[i], seed, f, scope, prefer, at)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		results[i] = res
+		times[i] = done
+	}
+	cur, now := results[0], times[0]
+	for i := 1; i < len(plans); i++ {
+		var err error
+		cur, now, err = e.mergeAt(ctx, cur, results[i], simnet.MaxTime(now, times[i]),
+			func(a, b eval.Solutions) eval.Solutions { return eval.Join(a, b) })
+		if err != nil {
+			return siteSet{}, now, err
+		}
+	}
+	return cur, now, nil
+}
+
+// sharedTarget returns a storage node present in both plans' target sets
+// (the overlap node of the paper's S1 ∩ S2 example), preferring the one
+// with the highest combined frequency; empty when disjoint.
+func sharedTarget(a, b patternPlan) simnet.Addr {
+	freq := map[simnet.Addr]int{}
+	for _, p := range a.postings {
+		freq[p.Node] = p.Freq
+	}
+	best := simnet.Addr("")
+	bestFreq := -1
+	for _, p := range b.postings {
+		if fa, ok := freq[p.Node]; ok {
+			if fa+p.Freq > bestFreq {
+				bestFreq = fa + p.Freq
+				best = p.Node
+			}
+		}
+	}
+	return best
+}
+
+// execPattern evaluates one triple pattern over its target storage nodes
+// according to the per-pattern strategy. seeds are the partial solutions
+// joined in-network; preferEnd forces the chain to end at the given target
+// when present (overlap-aware assembly).
+func (e *Engine) execPattern(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, preferEnd simnet.Addr, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	targets := plan.postings
+	if len(targets) == 0 {
+		return siteSet{sols: nil, site: seeds.site}, at, nil
+	}
+	switch e.opts.Strategy {
+	case StrategyBasic:
+		return e.execPatternBasic(ctx, plan, seeds, filter, scope, at)
+	case StrategyFreqChain:
+		return e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, true, at)
+	default:
+		return e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, false, at)
+	}
+}
+
+// execPatternBasic: the sub-query (with seeds) ships to the pattern's
+// index node, which fans it out to every target in parallel; each target
+// returns its matches and the index node assembles the union (Sect. IV-C
+// basic). High parallelism, duplicated seed shipping, responses all travel
+// back — low response time, high transmission overhead.
+func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	assembly := plan.index
+	if assembly == "" { // flooding: assemble at the seeds' current site
+		assembly = seeds.site
+	}
+	req := overlay.MatchReq{Patterns: []rdf.Triple{plan.pattern}, Filter: filter, Seeds: seeds.sols,
+		Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope}
+	now := at
+	if seeds.site != assembly {
+		done, err := e.sys.Net().Transfer(seeds.site, assembly, methodDispatch, req, now)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		now = done
+	}
+	var acc eval.Solutions
+	finish := now
+	for _, p := range plan.postings {
+		resp, done, err := e.sys.Net().Call(assembly, p.Node, overlay.MethodMatch, req, now)
+		if err != nil {
+			finish = simnet.MaxTime(finish, done)
+			e.dropStale(ctx, plan, p.Node)
+			continue
+		}
+		ctx.subq++
+		ctx.targets[p.Node] = true
+		acc = eval.Union(acc, resp.(overlay.SolutionsResp).Sols)
+		finish = simnet.MaxTime(finish, done)
+		if plan.stopOnFirst && len(acc) > 0 {
+			// existence settled: remaining targets are not contacted (the
+			// sequential early exit trades the parallel fan-out's latency
+			// for fewer messages)
+			finish = done
+			break
+		}
+	}
+	// The query dataset is the *set* union of all providers' triples
+	// (Sect. IV-A): identical triples held by several providers must yield
+	// one solution. For a single pattern a solution mapping determines the
+	// matched triple, so mapping-level deduplication realizes the set
+	// semantics exactly.
+	acc = eval.Distinct(acc)
+	return siteSet{sols: acc, site: assembly}, finish, nil
+}
+
+// execPatternChain: the sub-query and accumulated solutions forward
+// through the target list; each node merges its local matches and passes
+// the result on; the final node keeps the result (it becomes the new
+// site). byFreq orders targets by increasing Table I frequency so the
+// largest contribution never travels (Sect. IV-C further optimization).
+func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, preferEnd simnet.Addr, byFreq bool, at simnet.VTime) (siteSet, simnet.VTime, error) {
+	seq := orderTargets(plan.postings, preferEnd, byFreq)
+	patterns := []rdf.Triple{plan.pattern}
+
+	// The query (with seeds) first travels to the index node, which knows
+	// the sequence and forwards to its head (Sect. IV-C: "forwards the
+	// query ... to the node at the top of the sequence list").
+	now := at
+	prev := seeds.site
+	if plan.index != "" && prev != plan.index {
+		done, err := e.sys.Net().Transfer(prev, plan.index, methodDispatch,
+			overlay.MatchReq{Patterns: patterns, Filter: filter, Seeds: seeds.sols,
+				Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope}, now)
+		if err != nil {
+			return siteSet{}, done, err
+		}
+		now = done
+		prev = plan.index
+	}
+
+	var acc eval.Solutions
+	reached := prev
+	for i, target := range seq {
+		payload := chainPayload{
+			Patterns: patterns,
+			Filter:   filter,
+			Seeds:    seeds.sols,
+			Acc:      acc,
+			Seq:      addrsOf(seq[i+1:]),
+			Dataset:  ctx.dataset,
+		}
+		done, err := e.sys.Net().Transfer(prev, target.Node, overlay.MethodChainHop, payload, now)
+		now = done
+		if err != nil {
+			if errors.Is(err, simnet.ErrUnreachable) {
+				e.dropStale(ctx, plan, target.Node)
+				continue // forward from the same node to the next target
+			}
+			return siteSet{}, now, err
+		}
+		st, ok := e.sys.Storage(target.Node)
+		if !ok {
+			continue
+		}
+		ctx.subq++
+		ctx.targets[target.Node] = true
+		// In-network aggregation with set-union semantics: merging at each
+		// hop removes solutions duplicated across providers before they
+		// travel further (the dedup counterpart of execPatternBasic).
+		acc = eval.Distinct(eval.Union(acc, st.LocalMatchScope(patterns, filter, seeds.sols, ctx.dataset, ctx.fromNamed, scope)))
+		prev = target.Node
+		reached = target.Node
+		if plan.stopOnFirst && len(acc) > 0 {
+			break
+		}
+	}
+	return siteSet{sols: acc, site: reached}, now, nil
+}
+
+// orderTargets produces the chain sequence: address order (deterministic)
+// or increasing frequency, with preferEnd moved to the back when present.
+func orderTargets(postings []overlay.Posting, preferEnd simnet.Addr, byFreq bool) []overlay.Posting {
+	seq := append([]overlay.Posting(nil), postings...)
+	if byFreq {
+		sort.Slice(seq, func(i, j int) bool {
+			if seq[i].Freq != seq[j].Freq {
+				return seq[i].Freq < seq[j].Freq
+			}
+			return seq[i].Node < seq[j].Node
+		})
+	} else {
+		sort.Slice(seq, func(i, j int) bool { return seq[i].Node < seq[j].Node })
+	}
+	if preferEnd != "" {
+		for i, p := range seq {
+			if p.Node == preferEnd {
+				seq = append(append(seq[:i], seq[i+1:]...), p)
+				break
+			}
+		}
+	}
+	return seq
+}
+
+func addrsOf(ps []overlay.Posting) []simnet.Addr {
+	out := make([]simnet.Addr, len(ps))
+	for i, p := range ps {
+		out[i] = p.Node
+	}
+	return out
+}
+
+// dropStale implements the Sect. III-D timeout cleanup: when a storage
+// node does not acknowledge a sub-query, its postings are removed at the
+// pattern's index node (and its replicas).
+func (e *Engine) dropStale(ctx *qctx, plan patternPlan, node simnet.Addr) {
+	ctx.drops++
+	e.cache.dropNode(node)
+	if plan.index == "" {
+		return
+	}
+	if idx, ok := e.sys.Index(plan.index); ok {
+		idx.Table.DropNode(node)
+	}
+}
+
+// reorderPlans orders patterns by the location-table frequency statistics:
+// most selective first, then greedily connected through shared variables —
+// the distributed instantiation of the optimizer's join reordering.
+func reorderPlans(plans []patternPlan) []patternPlan {
+	byPattern := make(map[string]patternPlan, len(plans))
+	pats := make([]rdf.Triple, len(plans))
+	for i, p := range plans {
+		pats[i] = p.pattern
+		byPattern[p.pattern.String()] = p
+	}
+	est := planEstimator{byPattern: byPattern}
+	ordered := optimize.ReorderPatterns(pats, est)
+	out := make([]patternPlan, len(ordered))
+	for i, pat := range ordered {
+		out[i] = byPattern[pat.String()]
+	}
+	return out
+}
+
+// planEstimator adapts location-table frequencies to the optimizer's
+// CardinalityEstimator.
+type planEstimator struct {
+	byPattern map[string]patternPlan
+}
+
+// EstimatePattern implements optimize.CardinalityEstimator.
+func (e planEstimator) EstimatePattern(p rdf.Triple) int {
+	if plan, ok := e.byPattern[p.String()]; ok {
+		return plan.totalFreq()
+	}
+	return optimize.HeuristicEstimator{}.EstimatePattern(p)
+}
+
+// splitFilter flattens a conjunctive filter into its conjuncts.
+func splitFilter(f sparql.Expression) []sparql.Expression {
+	if f == nil {
+		return nil
+	}
+	if and, ok := f.(*sparql.ExprAnd); ok {
+		return append(splitFilter(and.Left), splitFilter(and.Right)...)
+	}
+	return []sparql.Expression{f}
+}
+
+// shippableFilter selects the not-yet-shipped conjuncts whose variables
+// are covered by bound and combines them into one expression; selected
+// conjuncts are marked shipped.
+func shippableFilter(conjuncts []sparql.Expression, shipped []bool, bound map[string]bool) sparql.Expression {
+	var out sparql.Expression
+	for i, c := range conjuncts {
+		if shipped[i] {
+			continue
+		}
+		ok := true
+		for _, v := range c.Vars() {
+			if !bound[v] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		shipped[i] = true
+		if out == nil {
+			out = c
+		} else {
+			out = &sparql.ExprAnd{Left: out, Right: c}
+		}
+	}
+	return out
+}
+
+// unshippedConjuncts rebuilds the residual filter from conjuncts that were
+// never shipped with a sub-query. The executor cannot know the shipped
+// slice here, so it conservatively re-applies the whole filter when any
+// conjunct mentions variables from more than one pattern — re-applying a
+// filter is idempotent and therefore always safe.
+func unshippedConjuncts(plans []patternPlan, conjuncts []sparql.Expression) sparql.Expression {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	var out sparql.Expression
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &sparql.ExprAnd{Left: out, Right: c}
+		}
+	}
+	return out
+}

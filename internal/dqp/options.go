@@ -1,0 +1,165 @@
+// Package dqp is the paper's primary contribution: distributed processing
+// of SPARQL queries over the hybrid P2P overlay (Sect. IV), realizing the
+// Fig. 3 workflow — query parsing, transformation to SPARQL algebra,
+// global query optimization, sub-query shipping with local execution at
+// storage nodes, and post-processing at the query initiator.
+//
+// Three orthogonal knobs reproduce the execution alternatives the paper
+// discusses:
+//
+//   - Strategy selects how one triple pattern's target storage nodes are
+//     processed: Basic (parallel fan-out with union at the index node,
+//     Sect. IV-C "basic query processing"), Chain (the query and
+//     accumulated solutions forwarded through the target list — in-network
+//     aggregation, first optimization), and FreqChain (targets visited in
+//     increasing location-table frequency order with the final, largest
+//     node returning directly to the initiator — "further optimization").
+//
+//   - Conjunction selects how multi-pattern BGPs combine: Pipeline ships
+//     the accumulated partial solutions from pattern to pattern
+//     (Sect. IV-D basic, a distributed semi-join), ParallelJoin evaluates
+//     patterns independently and joins at an assembly site, preferring a
+//     storage node shared by both target sets (Sect. IV-D optimization).
+//
+//   - JoinSite selects where a binary merge happens when the operand sites
+//     differ: MoveSmall ships the smaller multiset to the larger's site,
+//     QuerySite ships both to the initiator, ThirdSite ships both to a
+//     deterministic third node (Sect. II, after Cornell/Yu and Ye et al.).
+package dqp
+
+// Strategy selects the per-pattern execution plan (Sect. IV-C).
+type Strategy int
+
+// Per-pattern strategies.
+const (
+	// StrategyBasic fans the sub-query out to all target storage nodes in
+	// parallel and unions the replies at the pattern's index node: lowest
+	// response time, highest transmission overhead.
+	StrategyBasic Strategy = iota
+	// StrategyChain forwards the sub-query along the target list, each
+	// node merging its local matches into the accumulated solutions:
+	// in-network aggregation trading response time for traffic.
+	StrategyChain
+	// StrategyFreqChain is StrategyChain with targets ordered by
+	// increasing location-table frequency, so the node with the most
+	// matching triples is visited last and its (largest) contribution
+	// never travels; the final node returns directly to the initiator.
+	StrategyFreqChain
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBasic:
+		return "basic"
+	case StrategyChain:
+		return "chain"
+	case StrategyFreqChain:
+		return "freq-chain"
+	default:
+		return "unknown"
+	}
+}
+
+// Conjunction selects how multi-pattern BGPs are combined (Sect. IV-D).
+type Conjunction int
+
+// Conjunction modes.
+const (
+	// ConjPipeline evaluates patterns sequentially, shipping the partial
+	// solutions into each pattern's execution as seeds (distributed
+	// semi-join).
+	ConjPipeline Conjunction = iota
+	// ConjParallelJoin evaluates each pattern over its own target set
+	// independently (in parallel) and joins at an assembly site, chosen by
+	// target-set overlap when possible.
+	ConjParallelJoin
+)
+
+func (c Conjunction) String() string {
+	switch c {
+	case ConjPipeline:
+		return "pipeline"
+	case ConjParallelJoin:
+		return "parallel-join"
+	default:
+		return "unknown"
+	}
+}
+
+// JoinSitePolicy selects the site of a binary merge whose operands live on
+// different nodes (Sect. II).
+type JoinSitePolicy int
+
+// Join-site policies.
+const (
+	// JoinSiteMoveSmall ships the smaller solution multiset to the site of
+	// the larger one.
+	JoinSiteMoveSmall JoinSitePolicy = iota
+	// JoinSiteQuerySite ships both operands to the query initiator.
+	JoinSiteQuerySite
+	// JoinSiteThirdSite ships both operands to a deterministically chosen
+	// third node.
+	JoinSiteThirdSite
+	// JoinSiteQoS implements the QoS-aware selection of Ye et al. (the
+	// paper's third-site reference): candidate sites are scored by the
+	// simulated link-quality factors — operand shipping plus the estimated
+	// result's trip to the initiator — and the cheapest site wins. With
+	// uniform links it degenerates to move-small.
+	JoinSiteQoS
+)
+
+func (p JoinSitePolicy) String() string {
+	switch p {
+	case JoinSiteMoveSmall:
+		return "move-small"
+	case JoinSiteQuerySite:
+		return "query-site"
+	case JoinSiteThirdSite:
+		return "third-site"
+	case JoinSiteQoS:
+		return "qos"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures one query execution.
+type Options struct {
+	Strategy    Strategy
+	Conjunction Conjunction
+	JoinSite    JoinSitePolicy
+	// PushFilters enables the algebraic filter-pushing rewrite, shipping
+	// applicable filter conjuncts to storage nodes with the sub-queries
+	// (Sect. IV-G).
+	PushFilters bool
+	// ReorderJoins enables frequency-driven join reordering using the
+	// location-table statistics (Sect. IV-D optimization).
+	ReorderJoins bool
+	// CacheLookups memoizes index resolutions at the initiator across the
+	// engine's queries, skipping repeated Chord routing and location-table
+	// reads (an extension beyond the paper; evaluated in E14). Cached rows
+	// are invalidated when a stale storage node is observed.
+	CacheLookups bool
+}
+
+// DefaultOptions matches the paper's fully optimized configuration:
+// frequency-ordered chains, overlap-aware parallel joins, move-small
+// placement, filter pushing and join reordering.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:     StrategyFreqChain,
+		Conjunction:  ConjParallelJoin,
+		JoinSite:     JoinSiteMoveSmall,
+		PushFilters:  true,
+		ReorderJoins: true,
+	}
+}
+
+// BaselineOptions matches the paper's unoptimized basic processing.
+func BaselineOptions() Options {
+	return Options{
+		Strategy:    StrategyBasic,
+		Conjunction: ConjPipeline,
+		JoinSite:    JoinSiteQuerySite,
+	}
+}

@@ -1,0 +1,221 @@
+package dqp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+	"adhocshare/internal/sparql/eval"
+)
+
+// TestChurnSoak drives a deployment through a random sequence of events —
+// provider publishes and retractions, provider crashes and recoveries with
+// republication, index joins, graceful index departures and index crashes
+// with healing — and after every event checks a query against the oracle
+// over the data currently reachable (live providers' triples).
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sys, now := buildSystem(t, 6, map[string][]rdf.Triple{
+				"P0": nil, "P1": nil, "P2": nil, "P3": nil, "P4": nil, "P5": nil,
+			})
+			providers := []simnet.Addr{"P0", "P1", "P2", "P3", "P4", "P5"}
+			failed := map[simnet.Addr]bool{}
+			// per-provider shared triples (mirrors what the system holds)
+			held := map[simnet.Addr][]rdf.Triple{}
+			tripleSeq := 0
+			indexSeq := 0
+
+			mkTriples := func(n int) []rdf.Triple {
+				var ts []rdf.Triple
+				for i := 0; i < n; i++ {
+					tripleSeq++
+					ts = append(ts, rdf.Triple{
+						S: ex(fmt.Sprintf("s%d", tripleSeq%20)),
+						P: fp("knows"),
+						O: ex(fmt.Sprintf("o%d", rng.Intn(6))),
+					})
+				}
+				return ts
+			}
+			oracleNow := func() eval.Solutions {
+				g := rdf.NewGraph()
+				for p, ts := range held {
+					if !failed[p] {
+						g.AddAll(ts)
+					}
+				}
+				q, err := sparql.Parse(soakQuery)
+				if err != nil {
+					t.Fatal(err)
+				}
+				op, err := algebra.Translate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sols, err := eval.Eval(op, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sols
+			}
+			check := func(step int, opts Options) {
+				e := NewEngine(sys, opts)
+				initiator := providers[rng.Intn(len(providers))]
+				if failed[initiator] {
+					initiator = liveProvider(providers, failed)
+					if initiator == "" {
+						return
+					}
+				}
+				// run twice: the first run may observe fresh failures and
+				// clean the index; the second must be complete
+				_, _, done, err := e.Query(initiator, soakQuery, now)
+				now = done
+				if err != nil {
+					t.Fatalf("step %d: query: %v", step, err)
+				}
+				res, _, done, err := e.Query(initiator, soakQuery, now)
+				now = done
+				if err != nil {
+					t.Fatalf("step %d: query: %v", step, err)
+				}
+				want := oracleNow()
+				if !sameMultiset(res.Solutions, want) {
+					t.Fatalf("step %d: got %d solutions, oracle %d\ngot:  %v\nwant: %v",
+						step, len(res.Solutions), len(want), res.Solutions, want)
+				}
+			}
+
+			for step := 0; step < 25; step++ {
+				switch rng.Intn(7) {
+				case 0, 1: // publish
+					p := liveProvider(providers, failed)
+					if p == "" {
+						continue
+					}
+					ts := mkTriples(1 + rng.Intn(4))
+					done, err := sys.Publish(p, ts, now)
+					now = done
+					if err != nil {
+						t.Fatalf("step %d: publish: %v", step, err)
+					}
+					held[p] = append(held[p], uniqueNew(held[p], ts)...)
+				case 2: // retract some
+					p := liveProvider(providers, failed)
+					if p == "" || len(held[p]) == 0 {
+						continue
+					}
+					k := 1 + rng.Intn(len(held[p]))
+					ts := held[p][:k]
+					done, err := sys.Retract(p, ts, now)
+					now = done
+					if err != nil {
+						t.Fatalf("step %d: retract: %v", step, err)
+					}
+					held[p] = append([]rdf.Triple(nil), held[p][k:]...)
+				case 3: // crash a provider
+					p := liveProvider(providers, failed)
+					if p == "" {
+						continue
+					}
+					sys.FailNode(p)
+					failed[p] = true
+				case 4: // recover a provider and republish
+					var dead []simnet.Addr
+					for p, f := range failed {
+						if f {
+							dead = append(dead, p)
+						}
+					}
+					if len(dead) == 0 {
+						continue
+					}
+					p := dead[rng.Intn(len(dead))]
+					sys.RecoverNode(p)
+					failed[p] = false
+					done, err := sys.Republish(p, now)
+					now = done
+					if err != nil {
+						t.Fatalf("step %d: republish: %v", step, err)
+					}
+				case 5: // index join
+					indexSeq++
+					_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-j%d", indexSeq)), now)
+					now = done
+					if err != nil {
+						t.Fatalf("step %d: index join: %v", step, err)
+					}
+					now = sys.Converge(now)
+				case 6: // index departure (graceful) or crash, keeping ≥4
+					idx := sys.IndexNodes()
+					live := 0
+					for _, n := range idx {
+						if sys.Net().Alive(n.Addr()) {
+							live++
+						}
+					}
+					if live <= 4 {
+						continue
+					}
+					victim := idx[rng.Intn(len(idx))]
+					if !sys.Net().Alive(victim.Addr()) {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						done, err := sys.RemoveIndexGraceful(victim.Addr(), now)
+						now = done
+						if err != nil {
+							t.Fatalf("step %d: graceful leave: %v", step, err)
+						}
+					} else {
+						sys.FailNode(victim.Addr())
+						for i := 0; i < 4; i++ {
+							now = sys.StabilizeRound(now)
+						}
+						now = sys.Converge(now)
+					}
+				}
+				check(step, randomOptions(rng))
+			}
+		})
+	}
+}
+
+const soakQuery = `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?x ?y WHERE { ?x foaf:knows ?y . }`
+
+func liveProvider(providers []simnet.Addr, failed map[simnet.Addr]bool) simnet.Addr {
+	for _, p := range providers {
+		if !failed[p] {
+			return p
+		}
+	}
+	return ""
+}
+
+// uniqueNew returns the triples of ts not already in have (publication
+// ignores duplicates, so the oracle must too).
+func uniqueNew(have, ts []rdf.Triple) []rdf.Triple {
+	seen := map[rdf.Triple]bool{}
+	for _, t := range have {
+		seen[t] = true
+	}
+	var out []rdf.Triple
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

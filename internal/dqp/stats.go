@@ -1,0 +1,64 @@
+package dqp
+
+import (
+	"fmt"
+	"time"
+
+	"adhocshare/internal/simnet"
+)
+
+// Stats summarizes the cost of one distributed query execution. All
+// network figures come from simnet accounting; ResponseTime is the virtual
+// critical-path latency from submission to the final result arriving at
+// the initiator.
+type Stats struct {
+	// Messages and Bytes cover every message the query caused, including
+	// index lookups, sub-query shipping and result returns.
+	Messages int64
+	Bytes    int64
+	// PerMethod breaks traffic down by RPC method.
+	PerMethod map[string]simnet.MethodStats
+	// ResponseTime is the virtual end-to-end latency.
+	ResponseTime time.Duration
+	// LookupHops is the total number of Chord forwarding hops across all
+	// index lookups of the query.
+	LookupHops int
+	// Subqueries counts sub-query executions at storage nodes.
+	Subqueries int
+	// TargetsContacted is the number of distinct storage nodes that
+	// executed sub-queries.
+	TargetsContacted int
+	// StaleDrops counts storage nodes found unreachable during execution
+	// whose postings were dropped from index nodes (Sect. III-D timeout
+	// cleanup).
+	StaleDrops int
+	// Solutions is the number of rows in the final result.
+	Solutions int
+}
+
+// ShippedSolutionBytes sums the traffic of solution-carrying methods —
+// the "intermediate results" volume the paper's optimizations minimize.
+func (s Stats) ShippedSolutionBytes() int64 {
+	var n int64
+	for _, m := range []string{"store.match", "store.chain", "dqp.ship", "dqp.result"} {
+		n += s.PerMethod[m].Bytes
+	}
+	return n
+}
+
+// IndexBytes sums the routing/lookup traffic of the two-level index.
+func (s Stats) IndexBytes() int64 {
+	var n int64
+	for method, st := range s.PerMethod {
+		if len(method) > 6 && method[:6] == "chord." || len(method) > 6 && method[:6] == "index." {
+			n += st.Bytes
+		}
+	}
+	return n
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d resp=%v hops=%d subq=%d targets=%d sols=%d",
+		s.Messages, s.Bytes, s.ResponseTime, s.LookupHops, s.Subqueries,
+		s.TargetsContacted, s.Solutions)
+}

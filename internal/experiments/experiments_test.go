@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// colIndex finds a header's position.
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, h := range tab.Headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column %q in %v", tab.ID, name, tab.Headers)
+	return -1
+}
+
+func TestE1Fig1(t *testing.T) {
+	tab, err := E1Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 index nodes", len(tab.Rows))
+	}
+	// successors follow the paper's ring
+	wantSucc := map[string]string{"N1": "N4", "N4": "N7", "N7": "N12", "N12": "N15", "N15": "N1"}
+	for _, row := range tab.Rows {
+		if row[1] != wantSucc[row[0]] {
+			t.Errorf("successor(%s) = %s, want %s", row[0], row[1], wantSucc[row[0]])
+		}
+	}
+	if !strings.Contains(tab.Notes[0], "0 mismatches") {
+		t.Errorf("routing mismatches: %v", tab.Notes)
+	}
+}
+
+func TestE2IndexConstruction(t *testing.T) {
+	tab, err := E2IndexConstruction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppt := colIndex(t, tab, "postings/triple")
+	for i := range tab.Rows {
+		v := cell(t, tab, i, ppt)
+		if v <= 0 || v > 6 {
+			t.Errorf("row %d: postings/triple = %v, want (0,6]", i, v)
+		}
+	}
+	// more triples → more postings, same ring size (rows 0..2 share nIndex)
+	post := colIndex(t, tab, "postings")
+	if !(cell(t, tab, 0, post) < cell(t, tab, 1, post) && cell(t, tab, 1, post) < cell(t, tab, 2, post)) {
+		t.Error("postings do not grow with dataset size")
+	}
+}
+
+func TestE3LookupHopsLogShape(t *testing.T) {
+	tab, err := E3LookupHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := colIndex(t, tab, "avg/log2")
+	for i := range tab.Rows {
+		r := cell(t, tab, i, ratio)
+		if r > 1.5 {
+			t.Errorf("row %d: avg-hops/log2(N) = %v, want ≤ 1.5 (O(log N) shape)", i, r)
+		}
+	}
+	// hops must grow sublinearly: compare largest vs smallest ring
+	avg := colIndex(t, tab, "avg-hops")
+	n := colIndex(t, tab, "index-nodes")
+	growth := cell(t, tab, len(tab.Rows)-1, avg) / cell(t, tab, 0, avg)
+	sizeGrowth := cell(t, tab, len(tab.Rows)-1, n) / cell(t, tab, 0, n)
+	if growth > sizeGrowth/4 {
+		t.Errorf("hop growth %.2f vs size growth %.2f — not logarithmic", growth, sizeGrowth)
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	tab, err := E4PrimitiveStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := colIndex(t, tab, "resp-ms")
+	ship := colIndex(t, tab, "ship-KiB")
+	strat := colIndex(t, tab, "strategy")
+	over := colIndex(t, tab, "overlap")
+	// group rows by (overlap, target): strategy rows appear consecutively
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		basic, chain, freq := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		if basic[strat] != "basic" || chain[strat] != "chain" || freq[strat] != "freq-chain" {
+			t.Fatalf("unexpected row grouping at %d: %v", i, tab.Rows[i])
+		}
+		if cell(t, tab, i, resp) > cell(t, tab, i+1, resp) {
+			t.Errorf("rows %d: basic response %v > chain %v", i, basic[resp], chain[resp])
+		}
+		if cell(t, tab, i+2, ship) > cell(t, tab, i+1, ship)+0.01 {
+			t.Errorf("rows %d: freq-chain ships more than chain", i)
+		}
+		// at high overlap, chains must ship less than basic (skip empty
+		// result sets where both are zero)
+		if basic[over] == "1.00" && cell(t, tab, i, ship) > 0 {
+			if cell(t, tab, i+1, ship) >= cell(t, tab, i, ship) {
+				t.Errorf("rows %d: chain %v >= basic %v at overlap 1.0",
+					i, chain[ship], basic[ship])
+			}
+		}
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	tab, err := E5Conjunction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := colIndex(t, tab, "sols")
+	ship := colIndex(t, tab, "ship-KiB")
+	// per query block of 4 rows, all must agree on solutions
+	for i := 0; i+3 < len(tab.Rows); i += 4 {
+		for j := 1; j < 4; j++ {
+			if tab.Rows[i][sols] != tab.Rows[i+j][sols] {
+				t.Errorf("query %s: solution counts differ across configs", tab.Rows[i][0])
+			}
+		}
+		// pipeline+reorder (row i+1) ships no more than pipeline without (row i)
+		if cell(t, tab, i+1, ship) > cell(t, tab, i, ship)+0.01 {
+			t.Errorf("query %s: reorder increased pipeline shipping", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestE6Shapes(t *testing.T) {
+	tab, err := E6Optional()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := colIndex(t, tab, "sols")
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		if tab.Rows[i][sols] != tab.Rows[i+1][sols] || tab.Rows[i][sols] != tab.Rows[i+2][sols] {
+			t.Errorf("case %s: policies disagree on solutions", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestE7Shapes(t *testing.T) {
+	tab, err := E7Union()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := colIndex(t, tab, "sols")
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][sols] != tab.Rows[0][sols] {
+			t.Errorf("union strategies disagree: %v vs %v", tab.Rows[i], tab.Rows[0])
+		}
+	}
+}
+
+func TestE8FilterPushingShape(t *testing.T) {
+	tab, err := E8FilterPushing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship := colIndex(t, tab, "ship-KiB")
+	sols := colIndex(t, tab, "sols")
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		pushed, unpushed := i, i+1
+		if tab.Rows[pushed][sols] != tab.Rows[unpushed][sols] {
+			t.Errorf("regex %s: pushing changed solutions", tab.Rows[i][0])
+		}
+		if cell(t, tab, pushed, ship) > cell(t, tab, unpushed, ship)+0.01 {
+			t.Errorf("regex %s: pushed %v > unpushed %v",
+				tab.Rows[i][0], tab.Rows[pushed][ship], tab.Rows[unpushed][ship])
+		}
+	}
+}
+
+func TestE9AllConfigsAgree(t *testing.T) {
+	tab, err := E9Fig4EndToEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+	sols := colIndex(t, tab, "sols")
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][sols] != tab.Rows[0][sols] {
+			t.Errorf("config %v returns %s solutions, first returned %s",
+				tab.Rows[i][:4], tab.Rows[i][sols], tab.Rows[0][sols])
+		}
+	}
+}
+
+func TestE10BaselineShapes(t *testing.T) {
+	tab, err := E10VsRDFPeers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kib := colIndex(t, tab, "KiB")
+	ans := colIndex(t, tab, "answers")
+	// rows: 0 hybrid ingest, 1 rdfpeers ingest, 2/3 primitive, 4/5 conjunctive
+	if cell(t, tab, 0, kib) >= cell(t, tab, 1, kib) {
+		t.Errorf("hybrid ingest %v KiB >= rdfpeers %v KiB — postings should be cheaper than shipping triples",
+			tab.Rows[0][kib], tab.Rows[1][kib])
+	}
+	if tab.Rows[2][ans] != tab.Rows[3][ans] {
+		t.Errorf("primitive answers differ: %s vs %s", tab.Rows[2][ans], tab.Rows[3][ans])
+	}
+	if tab.Rows[4][ans] != tab.Rows[5][ans] {
+		t.Errorf("conjunctive answers differ: %s vs %s", tab.Rows[4][ans], tab.Rows[5][ans])
+	}
+}
+
+func TestE11ChurnShapes(t *testing.T) {
+	tab, err := E11Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := colIndex(t, tab, "completeness")
+	drops := colIndex(t, tab, "stale-drops")
+	if cell(t, tab, 0, comp) != 1.0 {
+		t.Error("healthy run not complete")
+	}
+	for i, row := range tab.Rows {
+		switch row[0] {
+		case "storage-crash (2nd query)":
+			if cell(t, tab, i, drops) != 0 {
+				t.Errorf("second query after crash still dropped postings: %v", row)
+			}
+		case "index-graceful-leave", "index-crash+heal":
+			if cell(t, tab, i, comp) != 1.0 {
+				t.Errorf("%s completeness = %s, want 1.00", row[0], row[comp])
+			}
+		}
+	}
+}
+
+func TestE12JoinSiteShapes(t *testing.T) {
+	tab, err := E12JoinSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := colIndex(t, tab, "sols")
+	ship := colIndex(t, tab, "ship-KiB")
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		moveSmall, querySite := i, i+1
+		if tab.Rows[i][sols] != tab.Rows[i+1][sols] || tab.Rows[i][sols] != tab.Rows[i+2][sols] {
+			t.Errorf("case %s: policies disagree on solutions", tab.Rows[i][0])
+		}
+		if cell(t, tab, moveSmall, ship) > cell(t, tab, querySite, ship)+0.01 {
+			t.Errorf("case %s: move-small ships more than query-site", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := RunOne(&sb, "E99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := RunOne(&sb, "E1"); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "E1") {
+		t.Error("table output missing")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Caption: "c", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", "w")
+	s := tab.String()
+	for _, want := range []string{"== X: c ==", "a", "bb", "2.50", "xyz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE13QoSShapes(t *testing.T) {
+	tab, err := E13QoSJoinSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := colIndex(t, tab, "resp-ms")
+	pol := colIndex(t, tab, "policy")
+	// per scenario block of 4 rows, qos must be no slower than any static
+	// policy
+	for i := 0; i+3 < len(tab.Rows); i += 4 {
+		var qos float64 = -1
+		best := -1.0
+		for j := i; j < i+4; j++ {
+			v := cell(t, tab, j, resp)
+			if tab.Rows[j][pol] == "qos" {
+				qos = v
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if qos < 0 {
+			t.Fatalf("scenario %s: no qos row", tab.Rows[i][0])
+		}
+		if qos > best+0.01 {
+			t.Errorf("scenario %s: qos %.2f ms slower than best static %.2f ms",
+				tab.Rows[i][0], qos, best)
+		}
+	}
+}
+
+func TestE14CacheShapes(t *testing.T) {
+	tab, err := E14LookupCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := colIndex(t, tab, "hops")
+	cacheCol := colIndex(t, tab, "cache")
+	drops := colIndex(t, tab, "drops")
+	for i, row := range tab.Rows {
+		switch {
+		case row[cacheCol] == "true" && row[0] != "1":
+			if cell(t, tab, i, hops) != 0 {
+				t.Errorf("warm cached run %s still routed %s hops", row[0], row[hops])
+			}
+		case row[cacheCol] == "true+churn" && row[0] == "5":
+			if cell(t, tab, i, drops) != 0 {
+				t.Errorf("run 5 should be clean after invalidation: %v", row)
+			}
+		}
+	}
+}
+
+func TestE15RangeShapes(t *testing.T) {
+	tab, err := E15RangeQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+	ans := colIndex(t, tab, "answers")
+	visited := colIndex(t, tab, "nodes-visited")
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		if tab.Rows[i][ans] != tab.Rows[i+1][ans] {
+			t.Errorf("range %s: answer counts differ (%s vs %s)",
+				tab.Rows[i][0], tab.Rows[i][ans], tab.Rows[i+1][ans])
+		}
+		// the narrowest range must let LPH visit fewer nodes than the
+		// hybrid fan-out contacts
+		if i == 0 && cell(t, tab, i+1, visited) > cell(t, tab, i, visited) {
+			t.Errorf("narrow range: LPH visited %s nodes, hybrid %s",
+				tab.Rows[i+1][visited], tab.Rows[i][visited])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one named experiment of the DESIGN.md index.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All lists every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig. 1 topology reconstruction", E1Fig1},
+		{"E2", "two-level index construction", E2IndexConstruction},
+		{"E3", "DHT lookup hops vs. ring size", E3LookupHops},
+		{"E4", "primitive query strategies", E4PrimitiveStrategies},
+		{"E5", "conjunctive BGP processing", E5Conjunction},
+		{"E6", "OPTIONAL placement policies", E6Optional},
+		{"E7", "UNION processing", E7Union},
+		{"E8", "filter pushing", E8FilterPushing},
+		{"E9", "Fig. 4 end-to-end matrix", E9Fig4EndToEnd},
+		{"E10", "hybrid vs. RDFPeers baseline", E10VsRDFPeers},
+		{"E11", "churn resilience", E11Churn},
+		{"E12", "join-site selection", E12JoinSite},
+		{"E13", "QoS-aware join-site selection (extension)", E13QoSJoinSite},
+		{"E14", "initiator lookup cache (extension)", E14LookupCache},
+		{"E15", "numeric range queries vs. LPH (extension)", E15RangeQueries},
+	}
+}
+
+// RunAll executes every experiment, writing each table to w as it
+// completes. It returns the first error encountered.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		t, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by ID.
+func RunOne(w io.Writer, id string) error {
+	for _, e := range All() {
+		if e.ID == id {
+			t, err := e.Run()
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"adhocshare/internal/dqp"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/workload"
+)
+
+// netConfig is the cost model shared by all experiments: 2 ms per hop,
+// 1 MiB/s links, 500 ms failure timeout — a conservative ad-hoc wireless
+// profile.
+func netConfig() simnet.Config {
+	return simnet.Config{
+		BaseLatency: 2 * time.Millisecond,
+		Bandwidth:   1 << 20,
+		FailTimeout: 500 * time.Millisecond,
+	}
+}
+
+// deployment bundles an overlay with the virtual clock used to drive it.
+type deployment struct {
+	sys *overlay.System
+	now simnet.VTime
+}
+
+// buildDeployment creates a converged overlay with nIndex index nodes and
+// the dataset's providers as storage nodes, publishing all triples.
+func buildDeployment(nIndex int, d *workload.Dataset) (*deployment, error) {
+	sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 2, Net: netConfig()})
+	dep := &deployment{sys: sys}
+	for i := 0; i < nIndex; i++ {
+		_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), dep.now)
+		if err != nil {
+			return nil, err
+		}
+		dep.now = done
+	}
+	dep.now = sys.Converge(dep.now)
+	for _, name := range d.Providers() {
+		_, done, err := sys.AddStorageNode(simnet.Addr(name), dep.now)
+		if err != nil {
+			return nil, err
+		}
+		dep.now = done
+		done, err = sys.Publish(simnet.Addr(name), d.ByProvider[name], dep.now)
+		if err != nil {
+			return nil, err
+		}
+		dep.now = done
+	}
+	return dep, nil
+}
+
+// runQuery executes one query and returns its result and stats, advancing
+// the deployment clock.
+func (dep *deployment) runQuery(opts dqp.Options, initiator, query string) (*dqp.Result, dqp.Stats, error) {
+	e := dqp.NewEngine(dep.sys, opts)
+	res, stats, done, err := e.Query(simnet.Addr(initiator), query, dep.now)
+	dep.now = done
+	return res, stats, err
+}
+
+// ms renders a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// log2 is a shorthand for the hop-bound comparisons.
+func log2(n int) float64 { return math.Log2(float64(n)) }

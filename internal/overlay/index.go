@@ -1,0 +1,200 @@
+package overlay
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/simnet"
+)
+
+// IndexNode is a ring member willing to host index entries for others
+// (Sect. III-A). It embeds a Chord node for routing and owns a location
+// table; it also holds replica rows for its predecessors so that the
+// system survives index-node failures (Sect. III-D).
+type IndexNode struct {
+	Chord *chord.Node
+	Table *LocationTable
+
+	net         *simnet.Network
+	addr        simnet.Addr
+	replication int
+}
+
+// NewIndexNode creates an index node with the given ring identifier and
+// registers it on the network. replication is the number of copies of each
+// posting (1 = primary only).
+func NewIndexNode(net *simnet.Network, addr simnet.Addr, id chord.ID, cfg chord.Config, replication int) *IndexNode {
+	if replication < 1 {
+		replication = 1
+	}
+	n := &IndexNode{
+		Chord:       chord.NewNode(net, addr, id, cfg),
+		Table:       NewLocationTable(),
+		net:         net,
+		addr:        addr,
+		replication: replication,
+	}
+	net.Register(addr, simnet.HandlerFunc(n.HandleCall))
+	return n
+}
+
+// Addr returns the node's network address.
+func (n *IndexNode) Addr() simnet.Addr { return n.addr }
+
+// ID returns the node's ring identifier.
+func (n *IndexNode) ID() chord.ID { return n.Chord.ID() }
+
+// HandleCall dispatches index methods and delegates "chord." methods to
+// the embedded ring member.
+func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	if strings.HasPrefix(method, "chord.") {
+		return n.Chord.HandleCall(at, method, req)
+	}
+	switch method {
+	case MethodPut:
+		r, ok := req.(PutReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: put payload %T", req)
+		}
+		n.Table.Add(r.Key, r.Node, r.Freq)
+		return n.replicate(at, map[chord.ID][]Posting{r.Key: n.Table.Get(r.Key)})
+	case MethodReplica:
+		r, ok := req.(TableRows)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: replicate payload %T", req)
+		}
+		n.Table.Replace(r.Rows)
+		return simnet.Bytes(1), at, nil
+	case MethodPutBatch:
+		r, ok := req.(PutBatchReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: put_batch payload %T", req)
+		}
+		rows := map[chord.ID][]Posting{}
+		for _, e := range r.Entries {
+			if r.Absolute {
+				n.Table.Set(e.Key, r.Node, e.Freq)
+			} else {
+				n.Table.Add(e.Key, r.Node, e.Freq)
+			}
+			rows[e.Key] = n.Table.Get(e.Key)
+		}
+		return n.replicate(at, rows)
+	case MethodLookup:
+		r, ok := req.(LookupReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: lookup payload %T", req)
+		}
+		return PostingsResp{Postings: n.Table.Get(r.Key)}, at, nil
+	case MethodTransfer:
+		r, ok := req.(TransferReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: transfer payload %T", req)
+		}
+		rows := n.Table.ExtractRange(r.From, r.To)
+		return TableRows{Rows: rows}, at, nil
+	case MethodHandover:
+		r, ok := req.(TableRows)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: handover payload %T", req)
+		}
+		n.Table.Merge(r.Rows)
+		return simnet.Bytes(1), at, nil
+	case MethodDropNode:
+		r, ok := req.(DropNodeReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: drop_node payload %T", req)
+		}
+		n.Table.DropNode(r.Node)
+		now := at
+		if r.Propagate && n.replication > 1 {
+			sent := 0
+			for _, succ := range n.Chord.SuccessorList() {
+				if sent >= n.replication-1 {
+					break
+				}
+				if succ.Addr == n.addr {
+					continue
+				}
+				_, done, err := n.net.Call(n.addr, succ.Addr, MethodDropNode,
+					DropNodeReq{Node: r.Node}, now)
+				now = done
+				if err == nil {
+					sent++
+				}
+			}
+		}
+		return simnet.Bytes(1), now, nil
+	default:
+		return nil, at, fmt.Errorf("overlay: index node %s: unknown method %s", n.addr, method)
+	}
+}
+
+// replicate pushes updated rows to the next replication−1 live successors
+// so the ring survives index-node failures (Sect. III-D's replication
+// policy). Replication is synchronous and best-effort.
+func (n *IndexNode) replicate(at simnet.VTime, rows map[chord.ID][]Posting) (simnet.Payload, simnet.VTime, error) {
+	now := at
+	if n.replication > 1 {
+		sent := 0
+		for _, succ := range n.Chord.SuccessorList() {
+			if sent >= n.replication-1 {
+				break
+			}
+			if succ.Addr == n.addr {
+				continue
+			}
+			_, done, err := n.net.Call(n.addr, succ.Addr, MethodReplica, TableRows{Rows: rows}, now)
+			now = done
+			if err == nil {
+				sent++
+			}
+		}
+	}
+	return simnet.Bytes(1), now, nil
+}
+
+// JoinTransfer pulls the location-table rows the node is now responsible
+// for from its successor: keys in (pred, self] (Sect. III-C). Call after
+// the ring has stabilized around the new node.
+func (n *IndexNode) JoinTransfer(at simnet.VTime) (simnet.VTime, error) {
+	succ := n.Chord.Successor()
+	if succ.Addr == n.addr {
+		return at, nil
+	}
+	pred := n.Chord.Predecessor()
+	from := pred.ID
+	if pred.IsZero() {
+		// Without a predecessor yet, claim everything up to our own id
+		// that the successor does not own.
+		from = succ.ID
+	}
+	resp, done, err := n.net.Call(n.addr, succ.Addr, MethodTransfer,
+		TransferReq{From: from, To: n.ID()}, at)
+	if err != nil {
+		return done, fmt.Errorf("overlay: join transfer: %w", err)
+	}
+	n.Table.Merge(resp.(TableRows).Rows)
+	return done, nil
+}
+
+// LeaveGraceful hands the whole location table to the successor and
+// retires from the ring (Sect. III-D).
+func (n *IndexNode) LeaveGraceful(at simnet.VTime) (simnet.VTime, error) {
+	succ := n.Chord.Successor()
+	now := at
+	if succ.Addr != n.addr {
+		rows := n.Table.Snapshot()
+		if len(rows) > 0 {
+			_, done, err := n.net.Call(n.addr, succ.Addr, MethodHandover, TableRows{Rows: rows}, now)
+			now = done
+			if err != nil {
+				return now, fmt.Errorf("overlay: handover: %w", err)
+			}
+		}
+	}
+	now = n.Chord.Leave(now)
+	n.net.Deregister(n.addr)
+	return now, nil
+}

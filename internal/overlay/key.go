@@ -1,0 +1,102 @@
+// Package overlay implements the paper's hybrid P2P architecture
+// (Sect. III): index nodes self-organized into a Chord ring and storage
+// nodes that keep their own RDF data locally and attach to one index node.
+//
+// The two-level distributed index works exactly as Sect. III-B describes:
+// for every shared triple (s,p,o), six keys are derived — ⟨s⟩, ⟨p⟩, ⟨o⟩,
+// ⟨s,p⟩, ⟨p,o⟩, ⟨s,o⟩ — and for each key a posting (storage-node address
+// plus a frequency count) is installed in the location table of the key's
+// successor index node. A query with a triple pattern picks the key
+// matching its bound positions, routes to the responsible index node via
+// Chord (level one) and reads the location-table row (level two) to find
+// the storage nodes that can answer.
+package overlay
+
+import (
+	"adhocshare/internal/chord"
+	"adhocshare/internal/rdf"
+)
+
+// KeyKind names one of the six index-key derivations of Sect. III-B.
+type KeyKind uint8
+
+// The six key kinds.
+const (
+	KeyS KeyKind = iota
+	KeyP
+	KeyO
+	KeySP
+	KeyPO
+	KeySO
+	numKeyKinds
+)
+
+// String returns the attribute combination, e.g. "sp".
+func (k KeyKind) String() string {
+	switch k {
+	case KeyS:
+		return "s"
+	case KeyP:
+		return "p"
+	case KeyO:
+		return "o"
+	case KeySP:
+		return "sp"
+	case KeyPO:
+		return "po"
+	case KeySO:
+		return "so"
+	default:
+		return "?"
+	}
+}
+
+// hashTerm gives each key kind its own hash domain so ⟨s⟩ and ⟨o⟩ of the
+// same term do not collide.
+func hashKey(kind KeyKind, a, b rdf.Term, bits uint) chord.ID {
+	s := kind.String() + "\x00" + a.String()
+	if kind >= KeySP {
+		s += "\x00" + b.String()
+	}
+	return chord.HashID(s, bits)
+}
+
+// TripleKeys returns the six index keys of a concrete triple, indexed by
+// KeyKind.
+func TripleKeys(t rdf.Triple, bits uint) [numKeyKinds]chord.ID {
+	return [numKeyKinds]chord.ID{
+		KeyS:  hashKey(KeyS, t.S, rdf.Term{}, bits),
+		KeyP:  hashKey(KeyP, t.P, rdf.Term{}, bits),
+		KeyO:  hashKey(KeyO, t.O, rdf.Term{}, bits),
+		KeySP: hashKey(KeySP, t.S, t.P, bits),
+		KeyPO: hashKey(KeyPO, t.P, t.O, bits),
+		KeySO: hashKey(KeySO, t.S, t.O, bits),
+	}
+}
+
+// PatternKey selects the most specific index key usable for a triple
+// pattern, following the paper's lookup rule (hash the bound attribute or
+// attribute pair). For a fully bound pattern the ⟨s,p⟩ key is used (any
+// pair would do; the storage node verifies the object). The boolean result
+// is false for the all-variable pattern, which has no key and must be
+// resolved by flooding all storage nodes (the unstructured lower layer).
+func PatternKey(pat rdf.Triple, bits uint) (chord.ID, KeyKind, bool) {
+	switch pat.Mask() {
+	case rdf.BoundS | rdf.BoundP | rdf.BoundO:
+		return hashKey(KeySP, pat.S, pat.P, bits), KeySP, true
+	case rdf.BoundS | rdf.BoundP:
+		return hashKey(KeySP, pat.S, pat.P, bits), KeySP, true
+	case rdf.BoundP | rdf.BoundO:
+		return hashKey(KeyPO, pat.P, pat.O, bits), KeyPO, true
+	case rdf.BoundS | rdf.BoundO:
+		return hashKey(KeySO, pat.S, pat.O, bits), KeySO, true
+	case rdf.BoundS:
+		return hashKey(KeyS, pat.S, rdf.Term{}, bits), KeyS, true
+	case rdf.BoundP:
+		return hashKey(KeyP, pat.P, rdf.Term{}, bits), KeyP, true
+	case rdf.BoundO:
+		return hashKey(KeyO, pat.O, rdf.Term{}, bits), KeyO, true
+	default:
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,199 @@
+package overlay
+
+import (
+	"adhocshare/internal/chord"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/eval"
+)
+
+// RPC method names. The "index." prefix marks two-level-index traffic, the
+// "store." prefix marks sub-query execution traffic at storage nodes.
+const (
+	MethodPut      = "index.put"
+	MethodPutBatch = "index.put_batch"
+	MethodLookup   = "index.lookup"
+	MethodTransfer = "index.transfer"
+	MethodHandover = "index.handover"
+	MethodDropNode = "index.drop_node"
+	MethodReplica  = "index.replicate"
+
+	MethodMatch    = "store.match"
+	MethodChainHop = "store.chain"
+	MethodCount    = "store.count"
+	MethodDump     = "store.dump"
+)
+
+// PutReq installs (or retracts, with negative Freq) one posting.
+type PutReq struct {
+	Key  chord.ID
+	Node simnet.Addr
+	Freq int
+}
+
+// SizeBytes implements simnet.Payload.
+func (r PutReq) SizeBytes() int { return 8 + len(r.Node) + 4 }
+
+// PutBatchReq installs several postings for one storage node in a single
+// message — publication batches all keys routed to the same index node.
+// With Absolute set, each entry's Freq replaces the stored frequency
+// instead of incrementing it (idempotent re-publication after recovery).
+type PutBatchReq struct {
+	Node     simnet.Addr
+	Entries  []KeyFreq
+	Absolute bool
+}
+
+// KeyFreq is one (key, frequency-delta) pair of a batch.
+type KeyFreq struct {
+	Key  chord.ID
+	Freq int
+}
+
+// SizeBytes implements simnet.Payload.
+func (r PutBatchReq) SizeBytes() int { return len(r.Node) + 12*len(r.Entries) }
+
+// LookupReq reads the location-table row for a key.
+type LookupReq struct {
+	Key chord.ID
+}
+
+// SizeBytes implements simnet.Payload.
+func (LookupReq) SizeBytes() int { return 8 }
+
+// PostingsResp carries a location-table row.
+type PostingsResp struct {
+	Postings []Posting
+}
+
+// SizeBytes implements simnet.Payload.
+func (r PostingsResp) SizeBytes() int {
+	n := 4
+	for _, p := range r.Postings {
+		n += p.SizeBytes()
+	}
+	return n
+}
+
+// TransferReq asks the receiver to extract and return the location-table
+// rows in the ring interval (From, To] — sent by a joining index node to
+// its successor.
+type TransferReq struct {
+	From, To chord.ID
+}
+
+// SizeBytes implements simnet.Payload.
+func (TransferReq) SizeBytes() int { return 16 }
+
+// TableRows carries location-table content (transfer, handover, replica
+// sync).
+type TableRows struct {
+	Rows map[chord.ID][]Posting
+}
+
+// SizeBytes implements simnet.Payload.
+func (t TableRows) SizeBytes() int {
+	n := 4
+	for _, row := range t.Rows {
+		n += 8
+		for _, p := range row {
+			n += p.SizeBytes()
+		}
+	}
+	return n
+}
+
+// DropNodeReq removes all postings of a (failed) storage node. With
+// Propagate set, the receiving index node forwards the drop to its replica
+// successors.
+type DropNodeReq struct {
+	Node      simnet.Addr
+	Propagate bool
+}
+
+// SizeBytes implements simnet.Payload.
+func (r DropNodeReq) SizeBytes() int { return len(r.Node) }
+
+// MatchReq asks a storage node to match a pattern conjunction against its
+// local repository, joined with the accumulated partial solutions (the
+// in-network aggregation of Sect. IV-C). Filter, when non-nil, is applied
+// to the local matches before they are returned — the shipped form of the
+// pushed-down FILTER of Sect. IV-G.
+type MatchReq struct {
+	Patterns []rdf.Triple
+	Filter   sparql.Expression
+	Seeds    eval.Solutions
+	// Dataset lists the FROM graph IRIs scoping the query's default graph
+	// (nil = the union of everything each provider shares, Sect. IV-A).
+	Dataset []string
+	// Graph scopes the patterns to a named graph: an IRI term selects it,
+	// a variable term iterates the provider's named graphs binding the
+	// variable; the zero Term means the (dataset-scoped) default graph.
+	Graph rdf.Term
+	// FromNamed lists the FROM NAMED graph IRIs available to GRAPH
+	// patterns (nil with a non-nil Dataset = none; nil with nil Dataset =
+	// every named graph the provider shares).
+	FromNamed []string
+}
+
+// SizeBytes implements simnet.Payload.
+func (r MatchReq) SizeBytes() int {
+	n := 8
+	for _, p := range r.Patterns {
+		n += p.SizeBytes()
+	}
+	if r.Filter != nil {
+		n += len(r.Filter.String())
+	}
+	n += r.Seeds.SizeBytes()
+	for _, g := range r.Dataset {
+		n += len(g)
+	}
+	if !r.Graph.IsZero() {
+		n += r.Graph.SizeBytes()
+	}
+	for _, g := range r.FromNamed {
+		n += len(g)
+	}
+	return n
+}
+
+// SolutionsResp carries a solution multiset between nodes.
+type SolutionsResp struct {
+	Sols eval.Solutions
+}
+
+// SizeBytes implements simnet.Payload.
+func (r SolutionsResp) SizeBytes() int { return r.Sols.SizeBytes() }
+
+// CountReq asks a storage node how many triples match a pattern.
+type CountReq struct {
+	Pattern rdf.Triple
+}
+
+// SizeBytes implements simnet.Payload.
+func (r CountReq) SizeBytes() int { return r.Pattern.SizeBytes() }
+
+// CountResp carries a match count.
+type CountResp struct {
+	N int
+}
+
+// SizeBytes implements simnet.Payload.
+func (CountResp) SizeBytes() int { return 4 }
+
+// TriplesResp carries raw triples (used by DESCRIBE and by the RDFPeers
+// ingest comparison).
+type TriplesResp struct {
+	Triples []rdf.Triple
+}
+
+// SizeBytes implements simnet.Payload.
+func (r TriplesResp) SizeBytes() int {
+	n := 4
+	for _, t := range r.Triples {
+		n += t.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,505 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+)
+
+// Config parameterizes a hybrid overlay deployment.
+type Config struct {
+	// Bits is the identifier-circle width (default 32; Fig. 1 uses 4).
+	Bits uint
+	// SuccListSize is the Chord successor-list length (default 4).
+	SuccListSize int
+	// Replication is the number of copies of each location-table posting
+	// (default 2: primary plus one successor replica).
+	Replication int
+	// Net is the simulated network cost model.
+	Net simnet.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 || c.Bits > 64 {
+		c.Bits = 32
+	}
+	if c.SuccListSize <= 0 {
+		c.SuccListSize = 4
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	return c
+}
+
+// System assembles and operates one hybrid overlay: the Chord ring of
+// index nodes plus the storage nodes attached to them. It exists on the
+// "operator" side of the simulation — nodes still only interact through
+// simnet messages; System just tracks membership and drives maintenance.
+type System struct {
+	cfg Config
+	net *simnet.Network
+
+	mu      sync.RWMutex
+	index   map[simnet.Addr]*IndexNode
+	storage map[simnet.Addr]*StorageNode
+}
+
+// NewSystem creates an empty deployment.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	return &System{
+		cfg:     cfg,
+		net:     simnet.New(cfg.Net),
+		index:   map[simnet.Addr]*IndexNode{},
+		storage: map[simnet.Addr]*StorageNode{},
+	}
+}
+
+// Net exposes the underlying simulated network (for metrics and failure
+// injection).
+func (s *System) Net() *simnet.Network { return s.net }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// AddIndexNode creates an index node whose ring identifier is the hash of
+// its address and joins it to the ring. It returns the node and the
+// virtual completion time.
+func (s *System) AddIndexNode(addr simnet.Addr, at simnet.VTime) (*IndexNode, simnet.VTime, error) {
+	return s.AddIndexNodeWithID(addr, chord.HashID(string(addr), s.cfg.Bits), at)
+}
+
+// AddIndexNodeWithID creates an index node with an explicit identifier
+// (used to reconstruct the paper's Fig. 1 topology).
+func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTime) (*IndexNode, simnet.VTime, error) {
+	s.mu.Lock()
+	if _, dup := s.index[addr]; dup {
+		s.mu.Unlock()
+		return nil, at, fmt.Errorf("overlay: index node %s already exists", addr)
+	}
+	var bootstrap simnet.Addr
+	for a := range s.index {
+		if s.net.Alive(a) {
+			bootstrap = a
+			break
+		}
+	}
+	n := NewIndexNode(s.net, addr, id, chord.Config{Bits: s.cfg.Bits, SuccListSize: s.cfg.SuccListSize}, s.cfg.Replication)
+	s.index[addr] = n
+	s.mu.Unlock()
+
+	now := at
+	if bootstrap == "" {
+		n.Chord.Create()
+		return n, now, nil
+	}
+	done, err := n.Chord.Join(bootstrap, now)
+	now = done
+	if err != nil {
+		return nil, now, err
+	}
+	now = s.Converge(now)
+	// Pull the location-table slice this node is now responsible for
+	// (Sect. III-C).
+	done, err = n.JoinTransfer(now)
+	now = done
+	if err != nil {
+		return nil, now, err
+	}
+	return n, now, nil
+}
+
+// AddStorageNode creates a storage node attached to the index node that is
+// the Chord successor of the storage node's hashed address (any attachment
+// rule works; this one is deterministic). The node starts empty — call
+// Publish to share triples.
+func (s *System) AddStorageNode(addr simnet.Addr, at simnet.VTime) (*StorageNode, simnet.VTime, error) {
+	s.mu.RLock()
+	nIndex := len(s.index)
+	s.mu.RUnlock()
+	if nIndex == 0 {
+		return nil, at, fmt.Errorf("overlay: no index nodes to attach to")
+	}
+	entry := s.anyIndexAddr()
+	resp, done, err := s.net.Call(addr, entry, chord.MethodFindSuccessor,
+		chord.FindReq{Target: chord.HashID(string(addr), s.cfg.Bits)}, at)
+	now := done
+	if err != nil {
+		return nil, now, fmt.Errorf("overlay: attach lookup: %w", err)
+	}
+	attach := resp.(chord.FindResp).Node.Addr
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.storage[addr]; dup {
+		return nil, now, fmt.Errorf("overlay: storage node %s already exists", addr)
+	}
+	n := NewStorageNode(s.net, addr, attach)
+	s.storage[addr] = n
+	return n, now, nil
+}
+
+// Publish adds triples to the storage node's local graph and installs the
+// six index keys per triple in the distributed index (Sect. III-B),
+// batching all keys that land on the same index node into one message.
+// It returns the virtual completion time.
+func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
+	s.mu.RLock()
+	node, ok := s.storage[storage]
+	s.mu.RUnlock()
+	if !ok {
+		return at, fmt.Errorf("overlay: unknown storage node %s", storage)
+	}
+	// Count new triples per key (duplicates in the graph are not re-indexed).
+	freq := map[chord.ID]int{}
+	for _, t := range triples {
+		if !node.Graph.Add(t) {
+			continue
+		}
+		for _, key := range TripleKeys(t, s.cfg.Bits) {
+			freq[key]++
+		}
+	}
+	node.InvalidateViews()
+	return s.installPostings(node, freq, at)
+}
+
+// PublishGraph adds triples to one of the storage node's *named* graphs
+// (Sect. IV-A datasets) and installs their index keys. Postings do not
+// distinguish graphs: lookups over-approximate and the FROM restriction is
+// applied at the provider during local matching.
+func (s *System) PublishGraph(storage simnet.Addr, graphIRI string, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
+	s.mu.RLock()
+	node, ok := s.storage[storage]
+	s.mu.RUnlock()
+	if !ok {
+		return at, fmt.Errorf("overlay: unknown storage node %s", storage)
+	}
+	g := node.NamedGraph(graphIRI)
+	freq := map[chord.ID]int{}
+	for _, t := range triples {
+		if !g.Add(t) {
+			continue
+		}
+		for _, key := range TripleKeys(t, s.cfg.Bits) {
+			freq[key]++
+		}
+	}
+	node.InvalidateViews()
+	return s.installPostings(node, freq, at)
+}
+
+// Retract removes triples from the storage node and decrements the index
+// frequencies.
+func (s *System) Retract(storage simnet.Addr, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
+	s.mu.RLock()
+	node, ok := s.storage[storage]
+	s.mu.RUnlock()
+	if !ok {
+		return at, fmt.Errorf("overlay: unknown storage node %s", storage)
+	}
+	freq := map[chord.ID]int{}
+	for _, t := range triples {
+		if !node.Graph.Remove(t) {
+			continue
+		}
+		for _, key := range TripleKeys(t, s.cfg.Bits) {
+			freq[key]--
+		}
+	}
+	node.InvalidateViews()
+	return s.installPostings(node, freq, at)
+}
+
+// Republish reinstalls the index postings for everything the storage node
+// currently shares, with absolute (idempotent) frequencies — the recovery
+// step for a provider whose postings were dropped while it was crashed
+// (Sect. III-D). Repeating it is harmless.
+func (s *System) Republish(storage simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
+	s.mu.RLock()
+	node, ok := s.storage[storage]
+	s.mu.RUnlock()
+	if !ok {
+		return at, fmt.Errorf("overlay: unknown storage node %s", storage)
+	}
+	freq := map[chord.ID]int{}
+	count := func(g *rdf.Graph) {
+		for _, t := range g.Triples() {
+			for _, key := range TripleKeys(t, s.cfg.Bits) {
+				freq[key]++
+			}
+		}
+	}
+	count(node.Graph)
+	for _, name := range node.GraphNames() {
+		count(node.NamedGraph(name))
+	}
+	return s.installPostingsMode(node, freq, true, at)
+}
+
+// installPostings resolves the responsible index node for every key (via
+// the storage node's attachment point) and ships one batch per index node.
+func (s *System) installPostings(node *StorageNode, freq map[chord.ID]int, at simnet.VTime) (simnet.VTime, error) {
+	return s.installPostingsMode(node, freq, false, at)
+}
+
+// reattachIfNeeded re-homes a storage node whose attachment index node is
+// no longer alive: in the ad-hoc setting, a storage node simply attaches
+// to another ring member (Sect. III-A).
+func (s *System) reattachIfNeeded(node *StorageNode) error {
+	if s.net.Alive(node.attached) {
+		return nil
+	}
+	next := s.anyIndexAddr()
+	if next == "" {
+		return fmt.Errorf("overlay: no live index node to re-attach %s", node.addr)
+	}
+	node.attached = next
+	return nil
+}
+
+func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
+	if err := s.reattachIfNeeded(node); err != nil {
+		return at, err
+	}
+	if len(freq) == 0 {
+		return at, nil
+	}
+	// Deterministic iteration order.
+	keys := make([]chord.ID, 0, len(freq))
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	batches := map[simnet.Addr][]KeyFreq{}
+	now := at
+	for _, key := range keys {
+		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessor,
+			chord.FindReq{Target: key}, now)
+		now = done
+		if err != nil {
+			return now, fmt.Errorf("overlay: resolve key %v: %w", key, err)
+		}
+		owner := resp.(chord.FindResp).Node.Addr
+		batches[owner] = append(batches[owner], KeyFreq{Key: key, Freq: freq[key]})
+	}
+	owners := make([]simnet.Addr, 0, len(batches))
+	for a := range batches {
+		owners = append(owners, a)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, owner := range owners {
+		_, done, err := s.net.Call(node.addr, owner, MethodPutBatch,
+			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute}, now)
+		now = done
+		if err != nil {
+			return now, fmt.Errorf("overlay: install postings at %s: %w", owner, err)
+		}
+	}
+	return now, nil
+}
+
+// ResolveKey routes a key to its responsible index node starting from any
+// node (storage nodes route via their attachment point, index nodes via
+// themselves). It returns the owner address, the Chord hop count and the
+// virtual completion time.
+func (s *System) ResolveKey(from simnet.Addr, key chord.ID, at simnet.VTime) (simnet.Addr, int, simnet.VTime, error) {
+	entry := s.entryFor(from)
+	if entry == "" {
+		return "", 0, at, fmt.Errorf("overlay: node %s has no ring entry point", from)
+	}
+	resp, done, err := s.net.Call(from, entry, chord.MethodFindSuccessor,
+		chord.FindReq{Target: key}, at)
+	if err != nil {
+		return "", 0, done, err
+	}
+	fr := resp.(chord.FindResp)
+	return fr.Node.Addr, fr.Hops, done, nil
+}
+
+// entryFor returns the ring entry point for a node address: itself for an
+// index node, the attachment point for a storage node, or any live index
+// node otherwise (external query initiators).
+func (s *System) entryFor(from simnet.Addr) simnet.Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.index[from]; ok {
+		return from
+	}
+	if st, ok := s.storage[from]; ok {
+		if s.net.Alive(st.attached) {
+			return st.attached
+		}
+		// the attachment point died: re-home to any live ring member
+		addrs := make([]simnet.Addr, 0, len(s.index))
+		for a := range s.index {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			if s.net.Alive(a) {
+				st.attached = a
+				return a
+			}
+		}
+		return ""
+	}
+	for a := range s.index {
+		if s.net.Alive(a) {
+			return a
+		}
+	}
+	return ""
+}
+
+func (s *System) anyIndexAddr() simnet.Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	addrs := make([]simnet.Addr, 0, len(s.index))
+	for a := range s.index {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if s.net.Alive(a) {
+			return a
+		}
+	}
+	return ""
+}
+
+// IndexNodes returns the index nodes sorted by ring identifier.
+func (s *System) IndexNodes() []*IndexNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*IndexNode, 0, len(s.index))
+	for _, n := range s.index {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// StorageNodes returns the storage nodes sorted by address.
+func (s *System) StorageNodes() []*StorageNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*StorageNode, 0, len(s.storage))
+	for _, n := range s.storage {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// Storage returns a storage node by address.
+func (s *System) Storage(addr simnet.Addr) (*StorageNode, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.storage[addr]
+	return n, ok
+}
+
+// Index returns an index node by address.
+func (s *System) Index(addr simnet.Addr) (*IndexNode, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.index[addr]
+	return n, ok
+}
+
+// Converge runs Chord stabilization on the index ring until pointers are
+// consistent and finger tables are fresh.
+func (s *System) Converge(at simnet.VTime) simnet.VTime {
+	return chord.Converge(s.chordNodes(), at)
+}
+
+// StabilizeRound runs one periodic maintenance round on all live index
+// nodes.
+func (s *System) StabilizeRound(at simnet.VTime) simnet.VTime {
+	return chord.StabilizeRound(s.chordNodes(), at)
+}
+
+func (s *System) chordNodes() []*chord.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*chord.Node, 0, len(s.index))
+	addrs := make([]simnet.Addr, 0, len(s.index))
+	for a := range s.index {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		out = append(out, s.index[a].Chord)
+	}
+	return out
+}
+
+// FailNode crashes a node (index or storage) without warning.
+func (s *System) FailNode(addr simnet.Addr) { s.net.Fail(addr) }
+
+// RecoverNode brings a crashed node back.
+func (s *System) RecoverNode(addr simnet.Addr) { s.net.Recover(addr) }
+
+// RemoveIndexGraceful performs a clean index-node departure: location
+// table handed to the successor, ring pointers rewired, node deregistered
+// (Sect. III-D).
+func (s *System) RemoveIndexGraceful(addr simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
+	s.mu.Lock()
+	n, ok := s.index[addr]
+	if ok {
+		delete(s.index, addr)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return at, fmt.Errorf("overlay: unknown index node %s", addr)
+	}
+	now, err := n.LeaveGraceful(at)
+	if err != nil {
+		return now, err
+	}
+	return s.Converge(now), nil
+}
+
+// DropStorageEverywhere removes a failed storage node's postings from all
+// live index nodes — the global form of the timeout cleanup, used by tests
+// and by churn experiments; during queries the cleanup happens lazily at
+// the index node that observes the timeout.
+func (s *System) DropStorageEverywhere(addr simnet.Addr, at simnet.VTime) simnet.VTime {
+	now := at
+	for _, n := range s.IndexNodes() {
+		if !s.net.Alive(n.Addr()) {
+			continue
+		}
+		n.Table.DropNode(addr)
+	}
+	s.mu.Lock()
+	delete(s.storage, addr)
+	s.mu.Unlock()
+	return now
+}
+
+// TotalTriples sums the sizes of all storage-node graphs.
+func (s *System) TotalTriples() int {
+	total := 0
+	for _, n := range s.StorageNodes() {
+		total += n.TotalTriples()
+	}
+	return total
+}
+
+// TotalPostings sums the location-table postings across index nodes
+// (replicas included).
+func (s *System) TotalPostings() int {
+	total := 0
+	for _, n := range s.IndexNodes() {
+		total += n.Table.Postings()
+	}
+	return total
+}

@@ -1,0 +1,277 @@
+package rdf
+
+import "sync"
+
+// Graph is an in-memory RDF triple store with three complete indexes
+// (SPO, POS, OSP) so that any triple pattern can be matched by scanning the
+// smallest applicable index slice. It is safe for concurrent use.
+//
+// Storage nodes in the overlay each own one Graph — the paper's premise is
+// that providers keep and serve their own data locally (Sect. I, III).
+type Graph struct {
+	mu   sync.RWMutex
+	spo  index3
+	pos  index3
+	osp  index3
+	size int
+}
+
+type index3 map[Term]map[Term]map[Term]struct{}
+
+func (ix index3) add(a, b, c Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		m1 = make(map[Term]map[Term]struct{})
+		ix[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[Term]struct{})
+		m1[b] = m2
+	}
+	if _, dup := m2[c]; dup {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func (ix index3) remove(a, b, c Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m2[c]; !ok {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(index3),
+		pos: make(index3),
+		osp: make(index3),
+	}
+}
+
+// Add inserts a concrete triple. It reports whether the triple was new.
+// Adding a non-concrete triple (a pattern) is a no-op returning false.
+func (g *Graph) Add(t Triple) bool {
+	if !t.IsConcrete() {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.add(t.P, t.O, t.S)
+	g.osp.add(t.O, t.S, t.P)
+	g.size++
+	return true
+}
+
+// AddAll inserts every triple of ts, returning the number actually added.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.remove(t.P, t.O, t.S)
+	g.osp.remove(t.O, t.S, t.P)
+	g.size--
+	return true
+}
+
+// Has reports whether the concrete triple is stored.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if m1, ok := g.spo[t.S]; ok {
+		if m2, ok := m1[t.P]; ok {
+			_, ok := m2[t.O]
+			return ok
+		}
+	}
+	return false
+}
+
+// Size returns the number of stored triples.
+func (g *Graph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// Triples returns a snapshot of all stored triples in unspecified order.
+func (g *Graph) Triples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Triple, 0, g.size)
+	for s, m1 := range g.spo {
+		for p, m2 := range m1 {
+			for o := range m2 {
+				out = append(out, Triple{s, p, o})
+			}
+		}
+	}
+	return out
+}
+
+// Match returns all stored triples matching the pattern. Variable positions
+// match anything; concrete positions must be equal. The best index for the
+// pattern's bound mask is consulted so the scan touches only candidates.
+func (g *Graph) Match(pat Triple) []Triple {
+	var out []Triple
+	g.ForEachMatch(pat, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of stored triples matching the pattern
+// without materializing them. It backs the location-table frequency counts.
+func (g *Graph) CountMatch(pat Triple) int {
+	n := 0
+	g.ForEachMatch(pat, func(Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachMatch streams matches to fn; fn returns false to stop early.
+func (g *Graph) ForEachMatch(pat Triple, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sB, pB, oB := pat.S.IsConcrete(), pat.P.IsConcrete(), pat.O.IsConcrete()
+	switch {
+	case sB && pB && oB:
+		if m1, ok := g.spo[pat.S]; ok {
+			if m2, ok := m1[pat.P]; ok {
+				if _, ok := m2[pat.O]; ok {
+					fn(pat)
+				}
+			}
+		}
+	case sB && pB:
+		if m1, ok := g.spo[pat.S]; ok {
+			for o := range m1[pat.P] {
+				if !fn(Triple{pat.S, pat.P, o}) {
+					return
+				}
+			}
+		}
+	case pB && oB:
+		if m1, ok := g.pos[pat.P]; ok {
+			for s := range m1[pat.O] {
+				if !fn(Triple{s, pat.P, pat.O}) {
+					return
+				}
+			}
+		}
+	case sB && oB:
+		if m1, ok := g.osp[pat.O]; ok {
+			for p := range m1[pat.S] {
+				if !fn(Triple{pat.S, p, pat.O}) {
+					return
+				}
+			}
+		}
+	case sB:
+		if m1, ok := g.spo[pat.S]; ok {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					if !fn(Triple{pat.S, p, o}) {
+						return
+					}
+				}
+			}
+		}
+	case pB:
+		if m1, ok := g.pos[pat.P]; ok {
+			for o, m2 := range m1 {
+				for s := range m2 {
+					if !fn(Triple{s, pat.P, o}) {
+						return
+					}
+				}
+			}
+		}
+	case oB:
+		if m1, ok := g.osp[pat.O]; ok {
+			for s, m2 := range m1 {
+				for p := range m2 {
+					if !fn(Triple{s, p, pat.O}) {
+						return
+					}
+				}
+			}
+		}
+	default: // full scan
+		for s, m1 := range g.spo {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					if !fn(Triple{s, p, o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Subjects returns the distinct subjects in the graph.
+func (g *Graph) Subjects() []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Term, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Predicates returns the distinct predicates in the graph.
+func (g *Graph) Predicates() []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Term, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.AddAll(g.Triples())
+	return out
+}

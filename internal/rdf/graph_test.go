@@ -1,0 +1,279 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func iri(s string) Term { return NewIRI("http://example.org/" + s) }
+
+func testTriples() []Triple {
+	return []Triple{
+		{iri("alice"), iri("knows"), iri("bob")},
+		{iri("alice"), iri("knows"), iri("carol")},
+		{iri("alice"), iri("name"), NewLiteral("Alice")},
+		{iri("bob"), iri("knows"), iri("carol")},
+		{iri("bob"), iri("name"), NewLiteral("Bob")},
+		{iri("carol"), iri("age"), NewInteger(30)},
+	}
+}
+
+func TestGraphAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	ts := testTriples()
+	for _, tr := range ts {
+		if !g.Add(tr) {
+			t.Errorf("Add(%v) returned false on first insert", tr)
+		}
+	}
+	if g.Size() != len(ts) {
+		t.Fatalf("Size = %d, want %d", g.Size(), len(ts))
+	}
+	// duplicate insert
+	if g.Add(ts[0]) {
+		t.Error("duplicate Add returned true")
+	}
+	if g.Size() != len(ts) {
+		t.Error("duplicate Add changed size")
+	}
+	for _, tr := range ts {
+		if !g.Has(tr) {
+			t.Errorf("Has(%v) = false", tr)
+		}
+	}
+	if g.Has(Triple{iri("nobody"), iri("knows"), iri("alice")}) {
+		t.Error("Has reported absent triple")
+	}
+	if !g.Remove(ts[0]) {
+		t.Error("Remove existing returned false")
+	}
+	if g.Remove(ts[0]) {
+		t.Error("Remove absent returned true")
+	}
+	if g.Has(ts[0]) {
+		t.Error("removed triple still present")
+	}
+	if g.Size() != len(ts)-1 {
+		t.Errorf("Size after remove = %d, want %d", g.Size(), len(ts)-1)
+	}
+}
+
+func TestGraphRejectsPatterns(t *testing.T) {
+	g := NewGraph()
+	if g.Add(Triple{NewVar("x"), iri("p"), iri("o")}) {
+		t.Error("Add accepted a pattern")
+	}
+	if g.Size() != 0 {
+		t.Error("pattern insert changed size")
+	}
+}
+
+func TestGraphMatchAllMasks(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(testTriples())
+	v := NewVar("v")
+	w := NewVar("w")
+	u := NewVar("u")
+	cases := []struct {
+		pat  Triple
+		want int
+	}{
+		{Triple{iri("alice"), iri("knows"), iri("bob")}, 1},   // spo
+		{Triple{iri("alice"), iri("knows"), v}, 2},            // sp
+		{Triple{v, iri("knows"), iri("carol")}, 2},            // po
+		{Triple{iri("alice"), v, NewLiteral("Alice")}, 1},     // so
+		{Triple{iri("alice"), v, w}, 3},                       // s
+		{Triple{v, iri("knows"), w}, 3},                       // p
+		{Triple{v, w, iri("carol")}, 2},                       // o
+		{Triple{u, v, w}, 6},                                  // none
+		{Triple{iri("zed"), v, w}, 0},                         // absent subject
+		{Triple{iri("alice"), iri("knows"), iri("alice")}, 0}, // absent triple
+	}
+	for _, c := range cases {
+		got := g.Match(c.pat)
+		if len(got) != c.want {
+			t.Errorf("Match(%v) returned %d results, want %d", c.pat, len(got), c.want)
+		}
+		if n := g.CountMatch(c.pat); n != c.want {
+			t.Errorf("CountMatch(%v) = %d, want %d", c.pat, n, c.want)
+		}
+		for _, m := range got {
+			if !g.Has(m) {
+				t.Errorf("Match returned triple not in graph: %v", m)
+			}
+		}
+	}
+}
+
+func TestGraphForEachMatchEarlyStop(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(testTriples())
+	n := 0
+	g.ForEachMatch(Triple{NewVar("s"), NewVar("p"), NewVar("o")}, func(Triple) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestGraphTriplesSnapshot(t *testing.T) {
+	g := NewGraph()
+	ts := testTriples()
+	g.AddAll(ts)
+	snap := g.Triples()
+	if len(snap) != len(ts) {
+		t.Fatalf("Triples() length = %d, want %d", len(snap), len(ts))
+	}
+	seen := map[Triple]bool{}
+	for _, tr := range snap {
+		seen[tr] = true
+	}
+	for _, tr := range ts {
+		if !seen[tr] {
+			t.Errorf("snapshot missing %v", tr)
+		}
+	}
+}
+
+func TestGraphSubjectsPredicates(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(testTriples())
+	if got := len(g.Subjects()); got != 3 {
+		t.Errorf("Subjects count = %d, want 3", got)
+	}
+	if got := len(g.Predicates()); got != 3 {
+		t.Errorf("Predicates count = %d, want 3", got)
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(testTriples())
+	c := g.Clone()
+	if c.Size() != g.Size() {
+		t.Fatal("clone size mismatch")
+	}
+	c.Add(Triple{iri("dave"), iri("name"), NewLiteral("Dave")})
+	if g.Size() == c.Size() {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := Triple{iri(fmt.Sprintf("s%d", w)), iri("p"), NewInteger(int64(i))}
+				g.Add(tr)
+				g.Has(tr)
+				g.Match(Triple{NewVar("s"), iri("p"), NewVar("o")})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Size() != 8*200 {
+		t.Errorf("Size = %d, want %d", g.Size(), 8*200)
+	}
+}
+
+// Property: for any set of concrete triples, every triple added is matched
+// by the fully-variable pattern exactly once, and removal is exact inverse.
+func TestGraphAddRemoveInverseProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		var ts []Triple
+		for i := 0; i < int(n%32)+1; i++ {
+			tr := Triple{
+				iri(fmt.Sprintf("s%d", rng.Intn(8))),
+				iri(fmt.Sprintf("p%d", rng.Intn(4))),
+				NewInteger(int64(rng.Intn(16))),
+			}
+			ts = append(ts, tr)
+		}
+		added := 0
+		for _, tr := range ts {
+			if g.Add(tr) {
+				added++
+			}
+		}
+		if g.Size() != added {
+			return false
+		}
+		if g.CountMatch(Triple{NewVar("s"), NewVar("p"), NewVar("o")}) != added {
+			return false
+		}
+		for _, tr := range ts {
+			g.Remove(tr)
+		}
+		return g.Size() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: index consistency — Match by any mask agrees with a filter over
+// the full snapshot.
+func TestGraphIndexConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < 60; i++ {
+			g.Add(Triple{
+				iri(fmt.Sprintf("s%d", rng.Intn(6))),
+				iri(fmt.Sprintf("p%d", rng.Intn(3))),
+				iri(fmt.Sprintf("o%d", rng.Intn(6))),
+			})
+		}
+		all := g.Triples()
+		pats := []Triple{
+			{iri("s1"), iri("p1"), NewVar("o")},
+			{NewVar("s"), iri("p2"), iri("o3")},
+			{iri("s0"), NewVar("p"), iri("o0")},
+			{iri("s2"), NewVar("p"), NewVar("o")},
+			{NewVar("s"), iri("p0"), NewVar("o")},
+			{NewVar("s"), NewVar("p"), iri("o5")},
+		}
+		for _, pat := range pats {
+			want := 0
+			for _, tr := range all {
+				if matches(pat, tr) {
+					want++
+				}
+			}
+			if g.CountMatch(pat) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func matches(pat, tr Triple) bool {
+	ok := func(p, v Term) bool { return p.IsVar() || p == v }
+	return ok(pat.S, tr.S) && ok(pat.P, tr.P) && ok(pat.O, tr.O)
+}
+
+func TestSortTriplesDeterministic(t *testing.T) {
+	ts := testTriples()
+	rand.New(rand.NewSource(1)).Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+	SortTriples(ts)
+	for i := 1; i < len(ts); i++ {
+		if Compare(ts[i-1].S, ts[i].S) > 0 {
+			t.Fatalf("not sorted at %d: %v > %v", i, ts[i-1], ts[i])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseNTriples reads N-Triples from r. Lines that are empty or start with
+// '#' are skipped. Each statement must end with '.'.
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Triple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseNTriplesLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: read: %w", err)
+	}
+	return out, nil
+}
+
+// ParseNTriplesLine parses a single N-Triples statement.
+func ParseNTriplesLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("missing terminating '.' at offset %d", p.pos)
+	}
+	p.ws()
+	if p.pos != len(p.in) {
+		return Triple{}, fmt.Errorf("trailing content after '.'")
+	}
+	return Triple{s, pr, o}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) ws() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) eat(c byte) bool {
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.ws()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q at offset %d", p.in[p.pos], p.pos)
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	p.pos++ // consume '<'
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != '>' {
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	v := p.in[start:p.pos]
+	p.pos++ // consume '>'
+	return NewIRI(v), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+		return Term{}, fmt.Errorf("malformed blank node at offset %d", p.pos)
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) && !isNTWhitespace(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	return NewBlank(p.in[start:p.pos]), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	p.pos++ // consume opening '"'
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			if p.pos >= len(p.in) {
+				return Term{}, fmt.Errorf("dangling escape in literal")
+			}
+			switch e := p.in[p.pos]; e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'u', 'U':
+				width := 4
+				if e == 'U' {
+					width = 8
+				}
+				if p.pos+width >= len(p.in) {
+					return Term{}, fmt.Errorf("truncated \\%c escape", e)
+				}
+				var r rune
+				if _, err := fmt.Sscanf(p.in[p.pos+1:p.pos+1+width], "%x", &r); err != nil {
+					return Term{}, fmt.Errorf("bad \\%c escape: %v", e, err)
+				}
+				sb.WriteRune(r)
+				p.pos += width
+			default:
+				return Term{}, fmt.Errorf("unknown escape \\%c", e)
+			}
+			p.pos++
+			continue
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unterminated literal")
+	}
+	p.pos++ // consume closing '"'
+	lex := sb.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.in) && p.in[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) && !isNTWhitespace(p.in[p.pos]) && p.in[p.pos] != '.' {
+			p.pos++
+		}
+		return NewLangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+			return Term{}, fmt.Errorf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isNTWhitespace(c byte) bool { return c == ' ' || c == '\t' }
+
+// WriteNTriples serializes triples to w, one statement per line, in the
+// given order.
+func WriteNTriples(w io.Writer, ts []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := fmt.Fprintln(bw, t.String()); err != nil {
+			return fmt.Errorf("rdf: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,126 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	in := `
+# a comment
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://example.org/p> "salut"@fr .
+`
+	ts, err := ParseNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("parsed %d triples, want 4", len(ts))
+	}
+	if ts[0].S != NewIRI("http://example.org/alice") {
+		t.Errorf("subject = %v", ts[0].S)
+	}
+	if ts[1].O != NewLiteral("Alice") {
+		t.Errorf("object = %v", ts[1].O)
+	}
+	if ts[2].O != NewTypedLiteral("42", XSDInteger) {
+		t.Errorf("typed object = %v", ts[2].O)
+	}
+	if ts[3].S != NewBlank("b1") {
+		t.Errorf("blank subject = %v", ts[3].S)
+	}
+	if ts[3].O != NewLangLiteral("salut", "fr") {
+		t.Errorf("lang object = %v", ts[3].O)
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	line := `<http://e/s> <http://e/p> "a\"b\\c\nd\te" .`
+	tr, err := ParseNTriplesLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O.Value != "a\"b\\c\nd\te" {
+		t.Errorf("unescaped = %q", tr.O.Value)
+	}
+	uline := `<http://e/s> <http://e/p> "snowman ☃" .`
+	tr, err = ParseNTriplesLine(uline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O.Value != "snowman ☃" {
+		t.Errorf("unicode unescaped = %q", tr.O.Value)
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://e/s> <http://e/p> "unterminated .`,
+		`<http://e/s> <http://e/p> <http://e/o>`,     // no dot
+		`<http://e/s> <http://e/p> <http://e/o> . x`, // trailing
+		`<http://e/s <http://e/p> <http://e/o> .`,    // unterminated IRI
+		`<http://e/s> <http://e/p> "x"^^bad .`,       // bad datatype
+		`_x <http://e/p> <http://e/o> .`,             // malformed blank
+		`<http://e/s> <http://e/p> "bad\qescape" .`,  // unknown escape
+		`<http://e/s> <http://e/p> .`,                // missing object
+		`?v <http://e/p> <http://e/o> .`,             // variable not allowed
+	}
+	for _, line := range bad {
+		if _, err := ParseNTriplesLine(line); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	ts := testTriples()
+	ts = append(ts, Triple{NewBlank("b0"), iri("note"), NewLangLiteral("héllo \"quoted\"\n", "en-GB")})
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(ts))
+	}
+	for i := range ts {
+		if back[i] != ts[i] {
+			t.Errorf("round trip mismatch at %d: %v != %v", i, back[i], ts[i])
+		}
+	}
+}
+
+// Property: any literal value round-trips through serialization.
+func TestNTriplesLiteralRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// N-Triples is a line-oriented format; the escaper handles \n \r \t,
+		// but other control characters are passed through and would break
+		// framing, so constrain the property to printable + escaped space.
+		for _, r := range s {
+			if r < 0x20 && r != '\n' && r != '\r' && r != '\t' {
+				return true // vacuous
+			}
+		}
+		tr := Triple{NewIRI("http://e/s"), NewIRI("http://e/p"), NewLiteral(s)}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, []Triple{tr}); err != nil {
+			return false
+		}
+		back, err := ParseNTriples(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0] == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

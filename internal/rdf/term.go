@@ -1,0 +1,300 @@
+// Package rdf implements the RDF data model used throughout adhocshare:
+// terms (IRIs, literals, blank nodes and query variables), triples, triple
+// patterns, an indexed in-memory graph store and N-Triples serialization.
+//
+// Terms are small comparable value types so they can be used directly as map
+// keys, which the graph indexes and the solution-mapping machinery rely on.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the lexical space a Term belongs to.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; a zero Term is not a valid RDF term.
+	KindInvalid Kind = iota
+	// KindIRI is an IRI reference (RFC 3987).
+	KindIRI
+	// KindLiteral is an RDF literal, optionally carrying a language tag or
+	// a datatype IRI.
+	KindLiteral
+	// KindBlank is a blank node with a document-scoped label.
+	KindBlank
+	// KindVar is a SPARQL query variable. Variables never occur in stored
+	// data; they appear only in triple patterns.
+	KindVar
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindLiteral:
+		return "literal"
+	case KindBlank:
+		return "blank"
+	case KindVar:
+		return "var"
+	default:
+		return "invalid"
+	}
+}
+
+// Well-known datatype IRIs from XML Schema used by the expression evaluator.
+const (
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal  = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDateTime = "http://www.w3.org/2001/XMLSchema#dateTime"
+)
+
+// RDFType is the rdf:type predicate IRI, the expansion of the SPARQL
+// keyword "a".
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// Term is one RDF term or query variable. It is a comparable value type:
+// two Terms are the same term exactly when they are == to each other.
+//
+// The interpretation of the fields depends on Kind:
+//
+//	KindIRI:     Value is the IRI string.
+//	KindLiteral: Value is the lexical form, Lang the optional language tag,
+//	             Datatype the optional datatype IRI ("" means a plain/
+//	             xsd:string literal).
+//	KindBlank:   Value is the blank-node label (without the "_:" prefix).
+//	KindVar:     Value is the variable name (without the "?" sigil).
+type Term struct {
+	Kind     Kind
+	Value    string
+	Lang     string
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Lang: lang}
+}
+
+// NewTypedLiteral returns a literal term with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// NewInteger returns an xsd:integer literal.
+func NewInteger(v int64) Term {
+	return Term{Kind: KindLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+}
+
+// NewBoolean returns an xsd:boolean literal.
+func NewBoolean(v bool) Term {
+	if v {
+		return Term{Kind: KindLiteral, Value: "true", Datatype: XSDBoolean}
+	}
+	return Term{Kind: KindLiteral, Value: "false", Datatype: XSDBoolean}
+}
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// NewVar returns a query-variable term. The name must not include the
+// leading "?" or "$" sigil.
+func NewVar(name string) Term { return Term{Kind: KindVar, Value: name} }
+
+// IsVar reports whether the term is a query variable.
+func (t Term) IsVar() bool { return t.Kind == KindVar }
+
+// IsConcrete reports whether the term may occur in stored data, i.e. it is
+// an IRI, literal or blank node.
+func (t Term) IsConcrete() bool {
+	return t.Kind == KindIRI || t.Kind == KindLiteral || t.Kind == KindBlank
+}
+
+// IsZero reports whether the term is the zero value.
+func (t Term) IsZero() bool { return t.Kind == KindInvalid }
+
+// Equal reports whether two terms are identical (same kind and all lexical
+// components equal). It is equivalent to ==, provided for readability.
+func (t Term) Equal(u Term) bool { return t == u }
+
+// String renders the term in N-Triples-compatible syntax. Variables render
+// with a leading "?".
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindLiteral:
+		var sb strings.Builder
+		sb.WriteByte('"')
+		sb.WriteString(escapeLiteral(t.Value))
+		sb.WriteByte('"')
+		if t.Lang != "" {
+			sb.WriteByte('@')
+			sb.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			sb.WriteString("^^<")
+			sb.WriteString(t.Datatype)
+			sb.WriteByte('>')
+		}
+		return sb.String()
+	case KindBlank:
+		return "_:" + t.Value
+	case KindVar:
+		return "?" + t.Value
+	default:
+		return "<invalid>"
+	}
+}
+
+// SizeBytes estimates the wire size of the term for the network cost model:
+// the lexical components plus a small fixed overhead per term.
+func (t Term) SizeBytes() int {
+	return 2 + len(t.Value) + len(t.Lang) + len(t.Datatype)
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Compare imposes a total order over terms, used by ORDER BY and by
+// deterministic test output. The order follows the SPARQL recommendation's
+// ordering sketch: blank nodes < IRIs < literals, with variables ordered
+// first (variables only occur in patterns). Within literals, an attempt is
+// made to compare numerically when both sides are numeric.
+func Compare(a, b Term) int {
+	ra, rb := orderRank(a), orderRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind == KindLiteral && b.Kind == KindLiteral {
+		na, oka := NumericValue(a)
+		nb, okb := NumericValue(b)
+		if oka && okb {
+			switch {
+			case na < nb:
+				return -1
+			case na > nb:
+				return 1
+			}
+			// fall through to lexical tie-break for stability
+		}
+	}
+	if c := strings.Compare(a.Value, b.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Lang, b.Lang); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Datatype, b.Datatype)
+}
+
+func orderRank(t Term) int {
+	switch t.Kind {
+	case KindVar:
+		return 0
+	case KindBlank:
+		return 1
+	case KindIRI:
+		return 2
+	case KindLiteral:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// NumericValue extracts a float64 from a numeric literal. It accepts
+// xsd:integer, xsd:decimal, xsd:double and untyped literals whose lexical
+// form parses as a number.
+func NumericValue(t Term) (float64, bool) {
+	if t.Kind != KindLiteral {
+		return 0, false
+	}
+	switch t.Datatype {
+	case "", XSDInteger, XSDDecimal, XSDDouble:
+		return parseFloat(t.Value)
+	default:
+		return 0, false
+	}
+}
+
+// parseFloat is a small strconv.ParseFloat wrapper that rejects empty and
+// obviously non-numeric strings quickly.
+func parseFloat(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	c := s[0]
+	if c != '+' && c != '-' && c != '.' && (c < '0' || c > '9') {
+		return 0, false
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	if err != nil {
+		return 0, false
+	}
+	// Reject trailing garbage such as "12abc" which Sscanf tolerates.
+	if !isNumericLexical(s) {
+		return 0, false
+	}
+	return v, true
+}
+
+func isNumericLexical(s string) bool {
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	digits, dot, exp := 0, false, false
+	for ; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' && !dot && !exp:
+			dot = true
+		case (c == 'e' || c == 'E') && !exp && digits > 0:
+			exp = true
+			if i+1 < len(s) && (s[i+1] == '+' || s[i+1] == '-') {
+				i++
+			}
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

@@ -1,0 +1,607 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseTurtle reads a Turtle document: @prefix/@base (and SPARQL-style
+// PREFIX/BASE) directives, prefixed names, the 'a' keyword, predicate
+// lists (';'), object lists (','), anonymous blank nodes with property
+// lists ('[ ... ]'), and numeric/boolean literal shorthand. RDF
+// collections '( ... )' are not supported.
+func ParseTurtle(r io.Reader) ([]Triple, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("rdf: turtle read: %w", err)
+	}
+	p := &turtleParser{in: string(src), line: 1, prefixes: map[string]string{}}
+	return p.parse()
+}
+
+// ParseTurtleString parses a Turtle document from a string.
+func ParseTurtleString(src string) ([]Triple, error) {
+	return ParseTurtle(strings.NewReader(src))
+}
+
+type turtleParser struct {
+	in       string
+	pos      int
+	line     int
+	prefixes map[string]string
+	base     string
+	out      []Triple
+	blankSeq int
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("rdf: turtle line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) parse() ([]Triple, error) {
+	for {
+		p.skipWS()
+		if p.pos >= len(p.in) {
+			return p.out, nil
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *turtleParser) statement() error {
+	switch {
+	case p.hasKeyword("@prefix"):
+		p.pos += len("@prefix")
+		return p.prefixDirective(true)
+	case p.hasKeyword("@base"):
+		p.pos += len("@base")
+		return p.baseDirective(true)
+	case p.hasCaselessWord("PREFIX"):
+		p.pos += len("PREFIX")
+		return p.prefixDirective(false)
+	case p.hasCaselessWord("BASE"):
+		p.pos += len("BASE")
+		return p.baseDirective(false)
+	default:
+		return p.triples()
+	}
+}
+
+// hasKeyword matches a case-sensitive Turtle directive.
+func (p *turtleParser) hasKeyword(kw string) bool {
+	return strings.HasPrefix(p.in[p.pos:], kw)
+}
+
+// hasCaselessWord matches a SPARQL-style directive keyword followed by
+// whitespace.
+func (p *turtleParser) hasCaselessWord(kw string) bool {
+	if len(p.in)-p.pos <= len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.in[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	c := p.in[p.pos+len(kw)]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func (p *turtleParser) prefixDirective(dotted bool) error {
+	p.skipWS()
+	name, err := p.pnameNS()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = p.resolve(iri)
+	if dotted {
+		p.skipWS()
+		if !p.eat('.') {
+			return p.errf("@prefix directive must end with '.'")
+		}
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDirective(dotted bool) error {
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	if dotted {
+		p.skipWS()
+		if !p.eat('.') {
+			return p.errf("@base directive must end with '.'")
+		}
+	}
+	return nil
+}
+
+// triples parses subject predicateObjectList '.'.
+func (p *turtleParser) triples() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("expected '.' after triples, found %q", p.peekRune())
+	}
+	return nil
+}
+
+func (p *turtleParser) predicateObjectList(subj Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.verb()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.out = append(p.out, Triple{S: subj, P: pred, O: obj})
+			p.skipWS()
+			if p.eat(',') {
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.eat(';') {
+			p.skipWS()
+			// allow trailing ';' before '.' or ']'
+			if c := p.peekByte(); c == '.' || c == ']' || c == 0 {
+				return nil
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	p.skipWS()
+	switch c := p.peekByte(); {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(p.resolve(iri)), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.blankPropertyList()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) verb() (Term, error) {
+	if p.peekByte() == 'a' {
+		// 'a' keyword only when followed by whitespace or a term opener
+		if p.pos+1 < len(p.in) {
+			next := p.in[p.pos+1]
+			if next == ' ' || next == '\t' || next == '\n' || next == '\r' || next == '<' || next == '[' || next == '"' {
+				p.pos++
+				return NewIRI(RDFType), nil
+			}
+		}
+	}
+	if p.peekByte() == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(p.resolve(iri)), nil
+	}
+	return p.prefixedName()
+}
+
+func (p *turtleParser) object() (Term, error) {
+	switch c := p.peekByte(); {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(p.resolve(iri)), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.blankPropertyList()
+	case c == '"' || c == '\'':
+		return p.literal()
+	case c == '+' || c == '-' || c == '.' || (c >= '0' && c <= '9'):
+		return p.numericLiteral()
+	case p.hasBoolean():
+		return p.booleanLiteral()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) hasBoolean() bool {
+	rest := p.in[p.pos:]
+	for _, kw := range []string{"true", "false"} {
+		if strings.HasPrefix(rest, kw) {
+			if len(rest) == len(kw) || !isTurtleNameChar(rune(rest[len(kw)])) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *turtleParser) booleanLiteral() (Term, error) {
+	if strings.HasPrefix(p.in[p.pos:], "true") {
+		p.pos += 4
+		return NewBoolean(true), nil
+	}
+	p.pos += 5
+	return NewBoolean(false), nil
+}
+
+// blankPropertyList parses '[' predicateObjectList? ']' and returns a
+// fresh blank node.
+func (p *turtleParser) blankPropertyList() (Term, error) {
+	p.pos++ // '['
+	p.blankSeq++
+	node := NewBlank(fmt.Sprintf("genid%d", p.blankSeq))
+	p.skipWS()
+	if p.eat(']') {
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if !p.eat(']') {
+		return Term{}, p.errf("unterminated '[' property list")
+	}
+	return node, nil
+}
+
+func (p *turtleParser) blankLabel() (Term, error) {
+	if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+		return Term{}, p.errf("malformed blank node label")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if !isTurtleNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.in[start:p.pos]), nil
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	if !p.eat('<') {
+		return "", p.errf("expected IRI, found %q", p.peekRune())
+	}
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != '>' {
+		if p.in[p.pos] == '\n' {
+			return "", p.errf("newline in IRI")
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return "", p.errf("unterminated IRI")
+	}
+	v := p.in[start:p.pos]
+	p.pos++ // '>'
+	return v, nil
+}
+
+func (p *turtleParser) resolve(iri string) string {
+	if p.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") || strings.HasPrefix(iri, "mailto:") {
+		return iri
+	}
+	return p.base + iri
+}
+
+// pnameNS parses "prefix:" (possibly empty prefix) for directives.
+func (p *turtleParser) pnameNS() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if r == ':' {
+			name := p.in[start:p.pos]
+			p.pos += sz
+			return name, nil
+		}
+		if !isTurtleNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return "", p.errf("expected prefix declaration ending in ':'")
+}
+
+func (p *turtleParser) prefixedName() (Term, error) {
+	start := p.pos
+	colon := -1
+	for p.pos < len(p.in) {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if r == ':' && colon == -1 {
+			colon = p.pos
+			p.pos += sz
+			continue
+		}
+		if !isTurtleNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	if colon == -1 {
+		return Term{}, p.errf("expected term, found %q", p.peekRune())
+	}
+	prefix := p.in[start:colon]
+	local := p.in[colon+1 : p.pos]
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	return NewIRI(ns + local), nil
+}
+
+func (p *turtleParser) literal() (Term, error) {
+	quote := p.in[p.pos]
+	long := strings.HasPrefix(p.in[p.pos:], strings.Repeat(string(quote), 3))
+	var lex string
+	var err error
+	if long {
+		lex, err = p.longString(quote)
+	} else {
+		lex, err = p.shortString(quote)
+	}
+	if err != nil {
+		return Term{}, err
+	}
+	// language tag or datatype
+	if p.peekByte() == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) {
+			c := p.in[p.pos]
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		var dt Term
+		if p.peekByte() == '<' {
+			iri, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			dt = NewIRI(p.resolve(iri))
+		} else {
+			dt, err = p.prefixedName()
+			if err != nil {
+				return Term{}, err
+			}
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func (p *turtleParser) shortString(quote byte) (string, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == quote {
+			p.pos++
+			return sb.String(), nil
+		}
+		if c == '\n' {
+			return "", p.errf("newline in string literal")
+		}
+		if c == '\\' {
+			r, err := p.escape()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteRune(r)
+			continue
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated string literal")
+}
+
+func (p *turtleParser) longString(quote byte) (string, error) {
+	p.pos += 3 // opening triple quote
+	delim := strings.Repeat(string(quote), 3)
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		if strings.HasPrefix(p.in[p.pos:], delim) {
+			p.pos += 3
+			return sb.String(), nil
+		}
+		c := p.in[p.pos]
+		if c == '\\' {
+			r, err := p.escape()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteRune(r)
+			continue
+		}
+		if c == '\n' {
+			p.line++
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated long string literal")
+}
+
+func (p *turtleParser) escape() (rune, error) {
+	p.pos++ // backslash
+	if p.pos >= len(p.in) {
+		return 0, p.errf("dangling escape")
+	}
+	c := p.in[p.pos]
+	p.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 't':
+		return '\t', nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u', 'U':
+		width := 4
+		if c == 'U' {
+			width = 8
+		}
+		if p.pos+width > len(p.in) {
+			return 0, p.errf("truncated unicode escape")
+		}
+		var r rune
+		if _, err := fmt.Sscanf(p.in[p.pos:p.pos+width], "%x", &r); err != nil {
+			return 0, p.errf("invalid unicode escape")
+		}
+		p.pos += width
+		return r, nil
+	default:
+		return 0, p.errf("unknown escape \\%c", c)
+	}
+}
+
+func (p *turtleParser) numericLiteral() (Term, error) {
+	start := p.pos
+	if c := p.peekByte(); c == '+' || c == '-' {
+		p.pos++
+	}
+	digits, dot, exp := 0, false, false
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+			p.pos++
+		case c == '.' && !dot && !exp:
+			// a trailing '.' is the statement terminator, not a decimal
+			// point, unless followed by a digit
+			if p.pos+1 >= len(p.in) || p.in[p.pos+1] < '0' || p.in[p.pos+1] > '9' {
+				goto done
+			}
+			dot = true
+			p.pos++
+		case (c == 'e' || c == 'E') && !exp && digits > 0:
+			exp = true
+			p.pos++
+			if c2 := p.peekByte(); c2 == '+' || c2 == '-' {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if digits == 0 {
+		return Term{}, p.errf("malformed numeric literal")
+	}
+	lex := p.in[start:p.pos]
+	switch {
+	case exp:
+		return NewTypedLiteral(lex, XSDDouble), nil
+	case dot:
+		return NewTypedLiteral(lex, XSDDecimal), nil
+	default:
+		return NewTypedLiteral(lex, XSDInteger), nil
+	}
+}
+
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch c {
+		case ' ', '\t', '\r':
+			p.pos++
+		case '\n':
+			p.line++
+			p.pos++
+		case '#':
+			for p.pos < len(p.in) && p.in[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) eat(c byte) bool {
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *turtleParser) peekByte() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *turtleParser) peekRune() string {
+	if p.pos >= len(p.in) {
+		return "EOF"
+	}
+	r, _ := utf8.DecodeRuneInString(p.in[p.pos:])
+	return string(r)
+}
+
+func isTurtleNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '%'
+}

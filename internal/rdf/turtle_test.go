@@ -1,0 +1,229 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustTurtle(t *testing.T, src string) []Triple {
+	t.Helper()
+	ts, err := ParseTurtleString(src)
+	if err != nil {
+		t.Fatalf("turtle parse: %v\n%s", err, src)
+	}
+	return ts
+}
+
+func TestTurtleBasics(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/> .
+
+ex:alice foaf:name "Alice" .
+ex:alice foaf:knows ex:bob .
+`)
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d triples, want 2", len(ts))
+	}
+	if ts[0].S != NewIRI("http://example.org/alice") {
+		t.Errorf("subject = %v", ts[0].S)
+	}
+	if ts[0].O != NewLiteral("Alice") {
+		t.Errorf("object = %v", ts[0].O)
+	}
+}
+
+func TestTurtlePredicateAndObjectLists(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:x, ex:y ;
+     ex:q "v" ;
+     a ex:Thing .
+`)
+	if len(ts) != 4 {
+		t.Fatalf("parsed %d triples, want 4", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.S != NewIRI("http://example.org/a") {
+			t.Errorf("shared subject broken: %v", tr)
+		}
+	}
+	if ts[3].P != NewIRI(RDFType) {
+		t.Errorf("'a' keyword: %v", ts[3].P)
+	}
+}
+
+func TestTurtleLiteralForms(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:int 42 ;
+     ex:neg -7 ;
+     ex:dec 3.14 ;
+     ex:dbl 6.02e23 ;
+     ex:t true ;
+     ex:f false ;
+     ex:lang "bonjour"@fr ;
+     ex:typed "5"^^xsd:integer ;
+     ex:typed2 "x"^^<http://example.org/dt> ;
+     ex:sq 'single quoted' ;
+     ex:long """line1
+line2""" .
+`)
+	want := map[string]Term{
+		"int":    NewTypedLiteral("42", XSDInteger),
+		"neg":    NewTypedLiteral("-7", XSDInteger),
+		"dec":    NewTypedLiteral("3.14", XSDDecimal),
+		"dbl":    NewTypedLiteral("6.02e23", XSDDouble),
+		"t":      NewBoolean(true),
+		"f":      NewBoolean(false),
+		"lang":   NewLangLiteral("bonjour", "fr"),
+		"typed":  NewTypedLiteral("5", XSDInteger),
+		"typed2": NewTypedLiteral("x", "http://example.org/dt"),
+		"sq":     NewLiteral("single quoted"),
+		"long":   NewLiteral("line1\nline2"),
+	}
+	got := map[string]Term{}
+	for _, tr := range ts {
+		got[strings.TrimPrefix(tr.P.Value, "http://example.org/")] = tr.O
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestTurtleBlankNodes(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix ex: <http://example.org/> .
+_:b1 ex:p ex:o .
+ex:s ex:q _:b1 .
+ex:s ex:r [ ex:inner "v" ; ex:inner2 ex:z ] .
+ex:s ex:empty [] .
+`)
+	if len(ts) != 6 {
+		t.Fatalf("parsed %d triples, want 6", len(ts))
+	}
+	if ts[0].S != NewBlank("b1") || ts[1].O != NewBlank("b1") {
+		t.Error("labelled blank nodes broken")
+	}
+	// the [ ... ] node appears as object of ex:r and subject of ex:inner*
+	var propListNode Term
+	for _, tr := range ts {
+		if tr.P == NewIRI("http://example.org/r") {
+			propListNode = tr.O
+		}
+	}
+	if propListNode.Kind != KindBlank {
+		t.Fatalf("property-list object = %v", propListNode)
+	}
+	inner := 0
+	for _, tr := range ts {
+		if tr.S == propListNode {
+			inner++
+		}
+	}
+	if inner != 2 {
+		t.Errorf("inner triples of [ ] = %d, want 2", inner)
+	}
+}
+
+func TestTurtleBaseAndSPARQLDirectives(t *testing.T) {
+	ts := mustTurtle(t, `
+BASE <http://example.org/>
+PREFIX ex: <http://example.org/ns#>
+<alice> ex:knows <bob> .
+`)
+	if len(ts) != 1 {
+		t.Fatalf("parsed %d triples", len(ts))
+	}
+	if ts[0].S != NewIRI("http://example.org/alice") {
+		t.Errorf("base resolution: %v", ts[0].S)
+	}
+	if ts[0].P != NewIRI("http://example.org/ns#knows") {
+		t.Errorf("SPARQL prefix: %v", ts[0].P)
+	}
+}
+
+func TestTurtleComments(t *testing.T) {
+	ts := mustTurtle(t, `
+# leading comment
+@prefix ex: <http://example.org/> . # trailing
+ex:a ex:p ex:b . # another
+`)
+	if len(ts) != 1 {
+		t.Fatalf("parsed %d triples", len(ts))
+	}
+}
+
+func TestTurtleEscapes(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix ex: <http://example.org/> .
+ex:a ex:p "tab\there é \U0001F600 \"q\"" .
+`)
+	if ts[0].O.Value != "tab\there é 😀 \"q\"" {
+		t.Errorf("escapes = %q", ts[0].O.Value)
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := map[string]string{
+		"undeclared prefix": `ex:a ex:p ex:b .`,
+		"missing dot":       `@prefix ex: <http://e/> . ex:a ex:p ex:b`,
+		"unterminated str":  `@prefix ex: <http://e/> . ex:a ex:p "x .`,
+		"unterminated iri":  `@prefix ex: <http://e/> . ex:a ex:p <http://x .`,
+		"bad directive":     `@prefix ex <http://e/> .`,
+		"unterminated [":    `@prefix ex: <http://e/> . ex:a ex:p [ ex:q "v" .`,
+		"newline in string": "@prefix ex: <http://e/> . ex:a ex:p \"x\ny\" .",
+		"bad escape":        `@prefix ex: <http://e/> . ex:a ex:p "\q" .`,
+	}
+	for name, src := range bad {
+		if _, err := ParseTurtleString(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestTurtleAcceptsNTriples(t *testing.T) {
+	// every N-Triples document is valid Turtle
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, testTriples()); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ParseTurtleString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != len(testTriples()) {
+		t.Errorf("parsed %d, want %d", len(ts), len(testTriples()))
+	}
+}
+
+func TestTurtleNumericTerminatorAmbiguity(t *testing.T) {
+	// "5." must parse as integer 5 followed by the statement terminator
+	ts := mustTurtle(t, `@prefix ex: <http://e/> . ex:a ex:p 5.`)
+	if len(ts) != 1 || ts[0].O != NewTypedLiteral("5", XSDInteger) {
+		t.Errorf("got %v", ts)
+	}
+	ts = mustTurtle(t, `@prefix ex: <http://e/> . ex:a ex:p 5.5 .`)
+	if len(ts) != 1 || ts[0].O != NewTypedLiteral("5.5", XSDDecimal) {
+		t.Errorf("got %v", ts)
+	}
+}
+
+func TestTurtleIntoGraph(t *testing.T) {
+	ts := mustTurtle(t, `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/> .
+ex:alice foaf:knows ex:bob, ex:carol ;
+         foaf:name "Alice" .
+ex:bob foaf:knows ex:carol .
+`)
+	g := NewGraph()
+	g.AddAll(ts)
+	n := g.CountMatch(Triple{NewVar("s"), NewIRI("http://xmlns.com/foaf/0.1/knows"), NewVar("o")})
+	if n != 3 {
+		t.Errorf("knows edges = %d, want 3", n)
+	}
+}

@@ -1,0 +1,440 @@
+// Package simnet is a deterministic discrete-cost network simulator. It is
+// the testbed substitute for the paper's (unevaluated) ad-hoc deployment:
+// every inter-node interaction in the overlay and the distributed query
+// processor goes through Network.Call, which accounts messages and bytes
+// and advances a virtual clock, so the trade-off the paper reasons about —
+// total inter-site data transmission versus response time (Sect. IV-C and
+// V) — is measured exactly and reproducibly.
+//
+// The model: a call from A to B carries a request payload and returns a
+// response payload. Each direction costs BaseLatency plus size/Bandwidth
+// of virtual time; handler computation is free unless the handler adds
+// nested calls, whose cost it threads through explicitly. Parallel fan-out
+// completes at the max of the branch completion times; chained forwarding
+// accumulates. Failed nodes time out.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Addr identifies a node on the simulated network.
+type Addr string
+
+// VTime is a point in virtual time, in nanoseconds since the simulation
+// epoch.
+type VTime int64
+
+// Add advances a virtual time by a duration.
+func (t VTime) Add(d time.Duration) VTime { return t + VTime(d) }
+
+// Duration returns the virtual time as a duration since the epoch.
+func (t VTime) Duration() time.Duration { return time.Duration(t) }
+
+func (t VTime) String() string { return time.Duration(t).String() }
+
+// MaxTime returns the latest of the given times — the completion time of a
+// parallel fan-out.
+func MaxTime(times ...VTime) VTime {
+	var m VTime
+	for _, t := range times {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Payload is any message body with a measurable wire size.
+type Payload interface {
+	SizeBytes() int
+}
+
+// Bytes is an opaque payload of a given size, for control messages.
+type Bytes int
+
+// SizeBytes implements Payload.
+func (b Bytes) SizeBytes() int { return int(b) }
+
+// Handler is implemented by every simulated node. HandleCall receives the
+// virtual time at which the request arrives and returns the response along
+// with the virtual time at which the response is ready to be sent back
+// (at or later than `at`; later when the handler itself made nested calls).
+type Handler interface {
+	HandleCall(at VTime, method string, req Payload) (resp Payload, done VTime, err error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(at VTime, method string, req Payload) (Payload, VTime, error)
+
+// HandleCall implements Handler.
+func (f HandlerFunc) HandleCall(at VTime, method string, req Payload) (Payload, VTime, error) {
+	return f(at, method, req)
+}
+
+// Errors returned by Call.
+var (
+	// ErrUnknownNode indicates the destination address was never registered.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	// ErrUnreachable indicates the destination node has failed or left.
+	ErrUnreachable = errors.New("simnet: node unreachable")
+)
+
+// Config parameterizes the cost model.
+type Config struct {
+	// BaseLatency is the fixed per-message delay (default 2ms), the ad-hoc
+	// hop cost.
+	BaseLatency time.Duration
+	// Bandwidth is the link throughput in bytes per second (default 1 MB/s,
+	// a conservative ad-hoc wireless figure).
+	Bandwidth float64
+	// FailTimeout is the virtual time wasted discovering that a failed node
+	// does not answer (default 500ms).
+	FailTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseLatency <= 0 {
+		c.BaseLatency = 2 * time.Millisecond
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 1 << 20
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Network is the simulated network fabric. It is safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	nodes  map[Addr]Handler
+	failed map[Addr]bool
+	// linkFactor scales a node's link cost (latency and transfer time);
+	// 1.0 (default) is a nominal link, larger is slower. The effective
+	// factor of a transfer is the worse endpoint's factor. This models
+	// the heterogeneous ad-hoc links that motivate QoS-aware join-site
+	// selection (Ye et al., paper Sect. II).
+	linkFactor map[Addr]float64
+
+	metrics metrics
+}
+
+type metrics struct {
+	mu        sync.Mutex
+	messages  int64
+	bytes     int64
+	perMethod map[string]*MethodStats
+}
+
+// MethodStats aggregates traffic for one RPC method.
+type MethodStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Snapshot is a point-in-time copy of the traffic counters.
+type Snapshot struct {
+	// Messages counts every payload transfer (a call and its response are
+	// two messages).
+	Messages int64
+	// Bytes is the total payload volume.
+	Bytes int64
+	// PerMethod breaks traffic down by RPC method name.
+	PerMethod map[string]MethodStats
+}
+
+// Sub returns the delta s − earlier, for scoping counters to one query.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	out := Snapshot{
+		Messages:  s.Messages - earlier.Messages,
+		Bytes:     s.Bytes - earlier.Bytes,
+		PerMethod: map[string]MethodStats{},
+	}
+	for k, v := range s.PerMethod {
+		d := MethodStats{
+			Messages: v.Messages - earlier.PerMethod[k].Messages,
+			Bytes:    v.Bytes - earlier.PerMethod[k].Bytes,
+		}
+		if d.Messages != 0 || d.Bytes != 0 {
+			out.PerMethod[k] = d
+		}
+	}
+	return out
+}
+
+// Methods lists the method names present in the snapshot, sorted.
+func (s Snapshot) Methods() []string {
+	out := make([]string, 0, len(s.PerMethod))
+	for k := range s.PerMethod {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New creates a network with the given cost model.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:        cfg.withDefaults(),
+		nodes:      map[Addr]Handler{},
+		failed:     map[Addr]bool{},
+		linkFactor: map[Addr]float64{},
+	}
+}
+
+// Config returns the effective cost-model configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Register attaches a handler at the given address, replacing any previous
+// registration and clearing a failure mark.
+func (n *Network) Register(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = h
+	delete(n.failed, addr)
+}
+
+// Deregister removes a node entirely (graceful departure).
+func (n *Network) Deregister(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+	delete(n.failed, addr)
+}
+
+// Fail marks a node as crashed: calls to it time out until Recover.
+func (n *Network) Fail(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		n.failed[addr] = true
+	}
+}
+
+// Recover clears a failure mark.
+func (n *Network) Recover(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failed, addr)
+}
+
+// Failed reports whether the node is currently marked failed.
+func (n *Network) Failed(addr Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.failed[addr]
+}
+
+// Alive reports whether the address is registered and not failed.
+func (n *Network) Alive(addr Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.nodes[addr]
+	return ok && !n.failed[addr]
+}
+
+// Nodes returns the registered addresses, sorted.
+func (n *Network) Nodes() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetLinkFactor assigns a link-quality factor to a node: 1.0 nominal,
+// larger is proportionally slower. Factors below a small positive floor
+// are clamped.
+func (n *Network) SetLinkFactor(addr Addr, factor float64) {
+	if factor < 0.01 {
+		factor = 0.01
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFactor[addr] = factor
+}
+
+// LinkFactor returns the node's link-quality factor (1.0 when unset).
+// It is the "QoS monitoring" read used by QoS-aware placement.
+func (n *Network) LinkFactor(addr Addr) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if f, ok := n.linkFactor[addr]; ok {
+		return f
+	}
+	return 1.0
+}
+
+// PathFactor is the effective factor of a transfer between two nodes: the
+// worse endpoint dominates.
+func (n *Network) PathFactor(from, to Addr) float64 {
+	ff, tf := n.LinkFactor(from), n.LinkFactor(to)
+	if ff > tf {
+		return ff
+	}
+	return tf
+}
+
+// transferDelay is the virtual cost of moving size bytes one hop between
+// the given endpoints.
+func (n *Network) transferDelay(from, to Addr, size int) time.Duration {
+	base := n.cfg.BaseLatency + time.Duration(float64(size)/n.cfg.Bandwidth*float64(time.Second))
+	return time.Duration(float64(base) * n.PathFactor(from, to))
+}
+
+// Call performs a synchronous simulated RPC. The request leaves `from` at
+// virtual time `at`; the returned VTime is when the response arrives back
+// at `from`. Traffic is accounted in both directions. A call from a node
+// to itself is free and does not count as network traffic.
+func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Payload, VTime, error) {
+	n.mu.RLock()
+	h, ok := n.nodes[to]
+	failed := n.failed[to]
+	n.mu.RUnlock()
+
+	if from == to {
+		if !ok {
+			return nil, at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+		}
+		return h.HandleCall(at, method, req)
+	}
+	if !ok {
+		return nil, at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	reqSize := payloadSize(req)
+	n.account(method, reqSize)
+	if failed {
+		// The request is sent (and counted) but never answered.
+		return nil, at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	arrive := at.Add(n.transferDelay(from, to, reqSize))
+	resp, done, err := h.HandleCall(arrive, method, req)
+	if err != nil {
+		// Error responses travel back as a small control message.
+		n.account(method, 0)
+		return nil, done.Add(n.transferDelay(to, from, 16)), err
+	}
+	respSize := payloadSize(resp)
+	n.account(method, respSize)
+	return resp, done.Add(n.transferDelay(to, from, respSize)), nil
+}
+
+// Send performs a one-way simulated message: it is accounted once and the
+// returned time is the arrival time at the destination. The destination
+// handler is invoked with the method and payload; its response payload is
+// discarded.
+func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTime, error) {
+	n.mu.RLock()
+	h, ok := n.nodes[to]
+	failed := n.failed[to]
+	n.mu.RUnlock()
+	if from == to {
+		if !ok {
+			return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+		}
+		_, done, err := h.HandleCall(at, method, req)
+		return done, err
+	}
+	if !ok {
+		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	size := payloadSize(req)
+	n.account(method, size)
+	if failed {
+		return at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	arrive := at.Add(n.transferDelay(from, to, size))
+	_, done, err := h.HandleCall(arrive, method, req)
+	return done, err
+}
+
+// Transfer models pure one-way data movement: the payload is accounted and
+// the arrival time at the destination is returned, but no handler runs —
+// the caller is responsible for the effect at the destination. This is the
+// primitive behind chained sub-query forwarding, where a node processes
+// locally and forwards onward without a return transfer. Transfers to
+// failed nodes are accounted (the data was sent) and report ErrUnreachable
+// after the failure timeout; transfers to unknown nodes fail immediately.
+func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTime) (VTime, error) {
+	n.mu.RLock()
+	_, ok := n.nodes[to]
+	failed := n.failed[to]
+	n.mu.RUnlock()
+	if from == to {
+		if !ok {
+			return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+		}
+		return at, nil
+	}
+	if !ok {
+		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	size := payloadSize(payload)
+	n.account(method, size)
+	if failed {
+		return at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	return at.Add(n.transferDelay(from, to, size)), nil
+}
+
+func payloadSize(p Payload) int {
+	if p == nil {
+		return 0
+	}
+	return p.SizeBytes()
+}
+
+func (n *Network) account(method string, size int) {
+	m := &n.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.messages++
+	m.bytes += int64(size)
+	if m.perMethod == nil {
+		m.perMethod = map[string]*MethodStats{}
+	}
+	st, ok := m.perMethod[method]
+	if !ok {
+		st = &MethodStats{}
+		m.perMethod[method] = st
+	}
+	st.Messages++
+	st.Bytes += int64(size)
+}
+
+// Metrics returns a snapshot of the traffic counters.
+func (n *Network) Metrics() Snapshot {
+	m := &n.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		Messages:  m.messages,
+		Bytes:     m.bytes,
+		PerMethod: make(map[string]MethodStats, len(m.perMethod)),
+	}
+	for k, v := range m.perMethod {
+		out.PerMethod[k] = *v
+	}
+	return out
+}
+
+// ResetMetrics zeroes all counters.
+func (n *Network) ResetMetrics() {
+	m := &n.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.messages = 0
+	m.bytes = 0
+	m.perMethod = map[string]*MethodStats{}
+}

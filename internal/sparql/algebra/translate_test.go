@@ -1,0 +1,242 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"adhocshare/internal/sparql"
+)
+
+func mustParse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustTranslate(t *testing.T, src string) Op {
+	t.Helper()
+	op, err := Translate(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestTranslatePrimitive(t *testing.T) {
+	op := mustTranslate(t, `PREFIX f: <http://f/>
+SELECT ?x WHERE { ?x f:knows f:me . }`)
+	proj, ok := op.(*Project)
+	if !ok {
+		t.Fatalf("root = %T, want *Project", op)
+	}
+	bgp, ok := proj.Input.(*BGP)
+	if !ok {
+		t.Fatalf("input = %T, want *BGP", proj.Input)
+	}
+	if len(bgp.Patterns) != 1 {
+		t.Errorf("patterns = %d", len(bgp.Patterns))
+	}
+	if got := proj.Vars(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("project vars = %v", got)
+	}
+}
+
+func TestTranslateConjunctionMergesBGPs(t *testing.T) {
+	// Fig. 6: two triple patterns joined with AND become one BGP.
+	op := mustTranslate(t, `PREFIX f: <http://f/> PREFIX n: <http://n/>
+SELECT ?x ?y ?z WHERE { ?x f:knows ?z . ?x n:knowsNothingAbout ?y . }`)
+	bgp, ok := op.(*Project).Input.(*BGP)
+	if !ok {
+		t.Fatalf("input = %T, want merged *BGP", op.(*Project).Input)
+	}
+	if len(bgp.Patterns) != 2 {
+		t.Errorf("merged BGP has %d patterns, want 2", len(bgp.Patterns))
+	}
+}
+
+func TestTranslateOptionalFig7(t *testing.T) {
+	// Fig. 7 translates to LeftJoin(BGP(P1), BGP(P2), true).
+	op := mustTranslate(t, `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?x ?y WHERE {
+  { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+  OPTIONAL { ?y foaf:nick "Shrek" . }
+}`)
+	lj, ok := op.(*Project).Input.(*LeftJoin)
+	if !ok {
+		t.Fatalf("input = %T, want *LeftJoin", op.(*Project).Input)
+	}
+	if lj.Expr != nil {
+		t.Errorf("LeftJoin expr = %v, want nil (true)", lj.Expr)
+	}
+	lb, ok := lj.Left.(*BGP)
+	if !ok || len(lb.Patterns) != 2 {
+		t.Errorf("left = %v", lj.Left)
+	}
+	rb, ok := lj.Right.(*BGP)
+	if !ok || len(rb.Patterns) != 1 {
+		t.Errorf("right = %v", lj.Right)
+	}
+	if !strings.Contains(op.String(), "LeftJoin(BGP(") {
+		t.Errorf("String = %q", op.String())
+	}
+}
+
+func TestTranslateOptionalWithEmbeddedFilter(t *testing.T) {
+	op := mustTranslate(t, `PREFIX f: <http://f/>
+SELECT ?x ?y WHERE {
+  ?x f:knows ?y .
+  OPTIONAL { ?y f:age ?a . FILTER(?a > 18) }
+}`)
+	lj := op.(*Project).Input.(*LeftJoin)
+	if lj.Expr == nil {
+		t.Fatal("embedded filter should become the LeftJoin condition")
+	}
+	if _, ok := lj.Expr.(*sparql.ExprCmp); !ok {
+		t.Errorf("condition = %T", lj.Expr)
+	}
+	if _, ok := lj.Right.(*BGP); !ok {
+		t.Errorf("right should be the unfiltered BGP, got %T", lj.Right)
+	}
+}
+
+func TestTranslateUnionFig8(t *testing.T) {
+	op := mustTranslate(t, `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?x ?y ?z WHERE {
+  { ?x foaf:name "Smith" . ?x foaf:knows ?y . }
+  UNION
+  { ?x foaf:mbox <mailto:abc@example.org> . ?x foaf:knows ?z . }
+}`)
+	u, ok := op.(*Project).Input.(*Union)
+	if !ok {
+		t.Fatalf("input = %T, want *Union", op.(*Project).Input)
+	}
+	if _, ok := u.Left.(*BGP); !ok {
+		t.Errorf("union left = %T", u.Left)
+	}
+	want := "Union(BGP("
+	if !strings.Contains(op.String(), want) {
+		t.Errorf("String = %q missing %q", op.String(), want)
+	}
+}
+
+func TestTranslateFilterFig9(t *testing.T) {
+	// Fig. 9 transforms to Filter(C1, LeftJoin(BGP(P1 . P2), BGP(P3), true)).
+	op := mustTranslate(t, `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ns: <http://example.org/ns#>
+SELECT ?x ?y ?z WHERE {
+  ?x foaf:name ?name ;
+     ns:knowsNothingAbout ?y .
+  FILTER regex(?name, "Smith")
+  OPTIONAL { ?y foaf:knows ?z . }
+}`)
+	f, ok := op.(*Project).Input.(*Filter)
+	if !ok {
+		t.Fatalf("input = %T, want *Filter", op.(*Project).Input)
+	}
+	lj, ok := f.Input.(*LeftJoin)
+	if !ok {
+		t.Fatalf("filter input = %T, want *LeftJoin", f.Input)
+	}
+	lb, ok := lj.Left.(*BGP)
+	if !ok || len(lb.Patterns) != 2 {
+		t.Errorf("left = %v", lj.Left)
+	}
+	s := op.String()
+	if !strings.Contains(s, "Filter(REGEX(?name") || !strings.Contains(s, "LeftJoin(") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTranslateModifiersOrder(t *testing.T) {
+	op := mustTranslate(t, `SELECT DISTINCT ?s WHERE { ?s ?p ?o . } ORDER BY ?s LIMIT 5 OFFSET 2`)
+	sl, ok := op.(*Slice)
+	if !ok {
+		t.Fatalf("root = %T, want *Slice", op)
+	}
+	if sl.Limit != 5 || sl.Offset != 2 {
+		t.Errorf("slice = %+v", sl)
+	}
+	d, ok := sl.Input.(*Distinct)
+	if !ok {
+		t.Fatalf("slice input = %T, want *Distinct", sl.Input)
+	}
+	p, ok := d.Input.(*Project)
+	if !ok {
+		t.Fatalf("distinct input = %T, want *Project", d.Input)
+	}
+	if _, ok := p.Input.(*OrderBy); !ok {
+		t.Fatalf("project input = %T, want *OrderBy", p.Input)
+	}
+}
+
+func TestTranslateSelectStar(t *testing.T) {
+	op := mustTranslate(t, `SELECT * WHERE { ?s ?p ?o . }`)
+	p := op.(*Project)
+	if len(p.Names) != 3 {
+		t.Errorf("star projection = %v", p.Names)
+	}
+}
+
+func TestTranslateAsk(t *testing.T) {
+	op := mustTranslate(t, `ASK { <http://a> <http://b> <http://c> . }`)
+	if _, ok := op.(*BGP); !ok {
+		t.Errorf("ASK root = %T, want bare *BGP", op)
+	}
+}
+
+func TestTranslateConstruct(t *testing.T) {
+	op := mustTranslate(t, `PREFIX f: <http://f/>
+CONSTRUCT { ?x f:friendOf ?y . } WHERE { ?x f:knows ?y . }`)
+	p, ok := op.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", op)
+	}
+	if len(p.Names) != 2 {
+		t.Errorf("construct projection = %v", p.Names)
+	}
+}
+
+func TestTranslateMultipleFiltersConjoined(t *testing.T) {
+	op := mustTranslate(t, `SELECT ?x WHERE { ?x ?p ?v . FILTER(?v > 1) FILTER(?v < 9) }`)
+	f, ok := op.(*Project).Input.(*Filter)
+	if !ok {
+		t.Fatalf("input = %T", op.(*Project).Input)
+	}
+	if _, ok := f.Expr.(*sparql.ExprAnd); !ok {
+		t.Errorf("two FILTERs should conjoin, expr = %T", f.Expr)
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	op := mustTranslate(t, `SELECT ?x WHERE { { ?x ?p ?o . } UNION { ?x ?q ?r . } }`)
+	n := CountOps(op)
+	if n != 4 { // Project, Union, BGP, BGP
+		t.Errorf("CountOps = %d, want 4", n)
+	}
+	kinds := map[string]int{}
+	Walk(op, func(o Op) { kinds[strings.SplitN(o.String(), "(", 2)[0]]++ })
+	if kinds["BGP"] != 2 || kinds["Union"] != 1 {
+		t.Errorf("walk kinds = %v", kinds)
+	}
+}
+
+func TestTranslateNestedGroupsFlatten(t *testing.T) {
+	op := mustTranslate(t, `PREFIX f: <http://f/>
+SELECT ?x WHERE { { { ?x f:a f:b . } } }`)
+	if _, ok := op.(*Project).Input.(*BGP); !ok {
+		t.Errorf("nested groups should normalize to BGP, got %T", op.(*Project).Input)
+	}
+}
+
+func TestTranslateVarsPropagation(t *testing.T) {
+	op := mustTranslate(t, `PREFIX f: <http://f/>
+SELECT ?x ?z WHERE { ?x f:knows ?y . OPTIONAL { ?y f:nick ?z . } }`)
+	inner := op.(*Project).Input
+	vars := inner.Vars()
+	if len(vars) != 3 {
+		t.Errorf("leftjoin vars = %v, want x,y,z", vars)
+	}
+}

@@ -1,0 +1,335 @@
+// Package eval implements local evaluation of SPARQL algebra expressions
+// over an rdf.Graph: solution mappings, the compatible-mapping join/union/
+// difference operations of Pérez et al. (Sect. IV-A of the paper), filter
+// expression evaluation with effective boolean values, and the solution
+// sequence modifiers.
+//
+// The same primitives are reused by the distributed query processor, which
+// ships partial solution multisets between nodes and joins them in-network.
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"adhocshare/internal/rdf"
+)
+
+// Binding is one solution mapping µ: a partial function from variable
+// names to RDF terms.
+type Binding map[string]rdf.Term
+
+// NewBinding returns an empty solution mapping.
+func NewBinding() Binding { return Binding{} }
+
+// Clone returns an independent copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Bound reports whether the variable is bound.
+func (b Binding) Bound(v string) bool {
+	_, ok := b[v]
+	return ok
+}
+
+// Compatible reports whether two mappings agree on every shared variable
+// (the compatibility relation of Pérez et al.).
+func (b Binding) Compatible(c Binding) bool {
+	small, large := b, c
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns µ1 ∪ µ2 for compatible mappings. The caller must ensure
+// compatibility; on conflicting variables the receiver's value wins.
+func (b Binding) Merge(c Binding) Binding {
+	out := make(Binding, len(b)+len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two mappings bind exactly the same variables to
+// the same terms.
+func (b Binding) Equal(c Binding) bool {
+	if len(b) != len(c) {
+		return false
+	}
+	for k, v := range b {
+		if w, ok := c[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for the mapping, used for DISTINCT and
+// set-based deduplication.
+func (b Binding) Key() string {
+	if len(b) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(b[k].String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// SizeBytes estimates the wire size of the mapping for the network cost
+// model: variable names plus term encodings.
+func (b Binding) SizeBytes() int {
+	n := 2
+	for k, v := range b {
+		n += len(k) + v.SizeBytes()
+	}
+	return n
+}
+
+// Project returns a mapping restricted to the given variables.
+func (b Binding) Project(vars []string) Binding {
+	out := make(Binding, len(vars))
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// String renders the binding deterministically for debugging.
+func (b Binding) String() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = "?" + k + "→" + b[k].String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Solutions is a solution multiset Ω.
+type Solutions []Binding
+
+// SizeBytes estimates the wire size of the multiset.
+func (s Solutions) SizeBytes() int {
+	n := 4
+	for _, b := range s {
+		n += b.SizeBytes()
+	}
+	return n
+}
+
+// Clone deep-copies the multiset.
+func (s Solutions) Clone() Solutions {
+	out := make(Solutions, len(s))
+	for i, b := range s {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// Join computes Ω1 ⋈ Ω2: the merge of every compatible pair.
+func Join(a, b Solutions) Solutions {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// Hash join on the shared variables when there are any; otherwise a
+	// cross product.
+	shared := sharedVars(a, b)
+	if len(shared) == 0 {
+		out := make(Solutions, 0, len(a)*len(b))
+		for _, x := range a {
+			for _, y := range b {
+				// With disjoint domains every pair is compatible, but a
+				// variable may still be bound in only some mappings of a
+				// side, so check anyway.
+				if x.Compatible(y) {
+					out = append(out, x.Merge(y))
+				}
+			}
+		}
+		return out
+	}
+	// Build hash table over b keyed by shared-variable values. Mappings in
+	// which some shared variable is unbound go to a catch-all bucket that
+	// must be probed pairwise.
+	table := make(map[string]Solutions)
+	var loose Solutions
+	for _, y := range b {
+		k, ok := joinKey(y, shared)
+		if !ok {
+			loose = append(loose, y)
+			continue
+		}
+		table[k] = append(table[k], y)
+	}
+	var out Solutions
+	for _, x := range a {
+		k, ok := joinKey(x, shared)
+		if ok {
+			for _, y := range table[k] {
+				if x.Compatible(y) {
+					out = append(out, x.Merge(y))
+				}
+			}
+		} else {
+			// x leaves shared variables unbound: probe everything.
+			for _, y := range b {
+				if x.Compatible(y) {
+					out = append(out, x.Merge(y))
+				}
+			}
+			continue
+		}
+		for _, y := range loose {
+			if x.Compatible(y) {
+				out = append(out, x.Merge(y))
+			}
+		}
+	}
+	return out
+}
+
+func joinKey(b Binding, vars []string) (string, bool) {
+	var sb strings.Builder
+	for _, v := range vars {
+		t, ok := b[v]
+		if !ok {
+			return "", false
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('|')
+	}
+	return sb.String(), true
+}
+
+func sharedVars(a, b Solutions) []string {
+	inA := map[string]bool{}
+	for _, x := range a {
+		for v := range x {
+			inA[v] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, y := range b {
+		for v := range y {
+			if inA[v] && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Union computes Ω1 ∪ Ω2 (multiset union).
+func Union(a, b Solutions) Solutions {
+	out := make(Solutions, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Diff computes Ω1 ∖ Ω2: mappings of Ω1 compatible with no mapping of Ω2.
+func Diff(a, b Solutions) Solutions {
+	var out Solutions
+	for _, x := range a {
+		ok := true
+		for _, y := range b {
+			if x.Compatible(y) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// LeftJoin computes Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2), the semantics of
+// OPTIONAL (Sect. IV-E). The optional filter condition, when present, is
+// applied by the caller via LeftJoinFilter.
+func LeftJoin(a, b Solutions) Solutions {
+	return Union(Join(a, b), Diff(a, b))
+}
+
+// Distinct removes duplicate mappings, preserving first occurrences.
+func Distinct(s Solutions) Solutions {
+	seen := make(map[string]bool, len(s))
+	var out Solutions
+	for _, b := range s {
+		k := b.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Reduced removes adjacent duplicate mappings.
+func Reduced(s Solutions) Solutions {
+	var out Solutions
+	for i, b := range s {
+		if i > 0 && b.Key() == s[i-1].Key() {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Project restricts every mapping to the given variables.
+func Project(s Solutions, vars []string) Solutions {
+	out := make(Solutions, len(s))
+	for i, b := range s {
+		out[i] = b.Project(vars)
+	}
+	return out
+}
+
+// Slice applies OFFSET and LIMIT (-1 meaning unset).
+func Slice(s Solutions, offset, limit int) Solutions {
+	if offset > 0 {
+		if offset >= len(s) {
+			return nil
+		}
+		s = s[offset:]
+	}
+	if limit >= 0 && limit < len(s) {
+		s = s[:limit]
+	}
+	return s
+}

@@ -1,0 +1,323 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/algebra"
+)
+
+// Dataset is an RDF dataset: a default graph plus named graphs, the
+// structure the paper's Sect. IV-A dataset clauses select over.
+type Dataset struct {
+	Default *rdf.Graph
+	Named   map[string]*rdf.Graph
+}
+
+// GraphNames returns the sorted named-graph IRIs.
+func (ds *Dataset) GraphNames() []string {
+	out := make([]string, 0, len(ds.Named))
+	for n := range ds.Named {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates an algebra expression over a graph and returns the
+// solution multiset. This is the local-execution component of the Fig. 3
+// workflow: every storage node runs it over its own repository.
+func Eval(op algebra.Op, g *rdf.Graph) (Solutions, error) {
+	return EvalDataset(op, &Dataset{Default: g})
+}
+
+// EvalDataset evaluates an algebra expression over a full dataset,
+// supporting GRAPH patterns over the named graphs.
+func EvalDataset(op algebra.Op, ds *Dataset) (Solutions, error) {
+	cur := ds.Default
+	if cur == nil {
+		cur = rdf.NewGraph()
+	}
+	return evalIn(op, ds, cur)
+}
+
+// evalIn evaluates op with cur as the active graph (the default graph, or
+// the named graph selected by an enclosing GRAPH pattern).
+func evalIn(op algebra.Op, ds *Dataset, cur *rdf.Graph) (Solutions, error) {
+	g := cur
+	switch o := op.(type) {
+	case *algebra.BGP:
+		return EvalBGP(g, o.Patterns, Solutions{NewBinding()}), nil
+	case *algebra.Graph:
+		return evalGraph(o, ds)
+	case *algebra.Join:
+		l, err := evalIn(o.Left, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalIn(o.Right, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Join(l, r), nil
+	case *algebra.LeftJoin:
+		l, err := evalIn(o.Left, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalIn(o.Right, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return LeftJoinFilter(l, r, o.Expr), nil
+	case *algebra.Union:
+		l, err := evalIn(o.Left, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalIn(o.Right, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Union(l, r), nil
+	case *algebra.Filter:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return FilterSolutions(in, o.Expr), nil
+	case *algebra.Project:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Project(in, o.Names), nil
+	case *algebra.Distinct:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Distinct(in), nil
+	case *algebra.Reduced:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Reduced(in), nil
+	case *algebra.OrderBy:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Order(in, o.Conds), nil
+	case *algebra.Slice:
+		in, err := evalIn(o.Input, ds, cur)
+		if err != nil {
+			return nil, err
+		}
+		return Slice(in, o.Offset, o.Limit), nil
+	default:
+		return nil, fmt.Errorf("eval: unsupported operator %T", op)
+	}
+}
+
+// evalGraph evaluates GRAPH name { P }: with a constant IRI the inner
+// pattern runs over that named graph; with a variable it runs over every
+// named graph, binding the variable to the graph's IRI.
+func evalGraph(o *algebra.Graph, ds *Dataset) (Solutions, error) {
+	if !o.Name.IsVar() {
+		g := ds.Named[o.Name.Value]
+		if g == nil {
+			return nil, nil
+		}
+		return evalIn(o.Input, ds, g)
+	}
+	varName := o.Name.Value
+	var out Solutions
+	for _, iri := range ds.GraphNames() {
+		sols, err := evalIn(o.Input, ds, ds.Named[iri])
+		if err != nil {
+			return nil, err
+		}
+		gTerm := rdf.NewIRI(iri)
+		for _, b := range sols {
+			if old, bound := b[varName]; bound {
+				if old != gTerm {
+					continue
+				}
+				out = append(out, b)
+				continue
+			}
+			nb := b.Clone()
+			nb[varName] = gTerm
+			out = append(out, nb)
+		}
+	}
+	return out, nil
+}
+
+// LeftJoinFilter implements LeftJoin(Ω1, Ω2, expr) per the SPARQL algebra:
+// compatible merges that satisfy expr, plus Ω1 mappings with no compatible
+// (and satisfying) counterpart.
+func LeftJoinFilter(a, b Solutions, expr sparql.Expression) Solutions {
+	if expr == nil {
+		return LeftJoin(a, b)
+	}
+	var out Solutions
+	for _, x := range a {
+		matched := false
+		for _, y := range b {
+			if x.Compatible(y) {
+				m := x.Merge(y)
+				if Satisfies(expr, m) {
+					out = append(out, m)
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FilterSolutions keeps mappings satisfying the condition.
+func FilterSolutions(s Solutions, expr sparql.Expression) Solutions {
+	if expr == nil {
+		return s
+	}
+	var out Solutions
+	for _, b := range s {
+		if Satisfies(expr, b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// EvalBGP matches the basic graph pattern against the graph by index
+// nested-loop evaluation: each seed binding is extended pattern by pattern,
+// substituting already-bound variables before probing the graph indexes.
+// Passing seeds other than the unit binding implements the paper's
+// in-network aggregation, where partial solutions from upstream nodes
+// constrain the local match.
+func EvalBGP(g *rdf.Graph, patterns []rdf.Triple, seeds Solutions) Solutions {
+	if len(patterns) == 0 {
+		return seeds
+	}
+	cur := seeds
+	for _, pat := range patterns {
+		var next Solutions
+		for _, b := range cur {
+			bound := Substitute(pat, b)
+			g.ForEachMatch(bound, func(t rdf.Triple) bool {
+				nb, ok := extend(b, bound, t)
+				if ok {
+					next = append(next, nb)
+				}
+				return true
+			})
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// MatchPattern evaluates a single triple pattern with the unit seed — the
+// primitive-query building block (Sect. IV-C).
+func MatchPattern(g *rdf.Graph, pattern rdf.Triple) Solutions {
+	return EvalBGP(g, []rdf.Triple{pattern}, Solutions{NewBinding()})
+}
+
+// Substitute replaces variables of pat that are bound in b with their
+// values.
+func Substitute(pat rdf.Triple, b Binding) rdf.Triple {
+	sub := func(t rdf.Term) rdf.Term {
+		if t.IsVar() {
+			if v, ok := b[t.Value]; ok {
+				return v
+			}
+		}
+		return t
+	}
+	return rdf.Triple{S: sub(pat.S), P: sub(pat.P), O: sub(pat.O)}
+}
+
+// extend augments binding b with the variable assignments implied by
+// matching the (partially substituted) pattern against triple t. It
+// reports false when the same variable would be assigned two different
+// terms (e.g. pattern ?x p ?x against s p o with s != o).
+func extend(b Binding, pat rdf.Triple, t rdf.Triple) (Binding, bool) {
+	nb := b.Clone()
+	assign := func(p, v rdf.Term) bool {
+		if !p.IsVar() {
+			return true
+		}
+		if old, ok := nb[p.Value]; ok {
+			return old == v
+		}
+		nb[p.Value] = v
+		return true
+	}
+	if !assign(pat.S, t.S) || !assign(pat.P, t.P) || !assign(pat.O, t.O) {
+		return nil, false
+	}
+	return nb, true
+}
+
+// Order sorts the solution sequence by the ORDER BY conditions. Unbound
+// variables and evaluation errors sort first, matching the SPARQL ordering
+// extension for unbound values.
+func Order(s Solutions, conds []sparql.OrderCond) Solutions {
+	out := s.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		for _, c := range conds {
+			vi, erri := EvalExpr(c.Expr, out[i])
+			vj, errj := EvalExpr(c.Expr, out[j])
+			var cmp int
+			switch {
+			case erri != nil && errj != nil:
+				cmp = 0
+			case erri != nil:
+				cmp = -1
+			case errj != nil:
+				cmp = 1
+			default:
+				cmp = rdf.Compare(vi.Term, vj.Term)
+			}
+			if c.Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Construct instantiates a CONSTRUCT template against the solutions and
+// returns the resulting (deduplicated) triples; template triples with
+// unbound variables are skipped per the SPARQL semantics.
+func Construct(template []rdf.Triple, s Solutions) []rdf.Triple {
+	seen := map[rdf.Triple]bool{}
+	var out []rdf.Triple
+	for _, b := range s {
+		for _, pat := range template {
+			t := Substitute(pat, b)
+			if !t.IsConcrete() || seen[t] {
+				continue
+			}
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

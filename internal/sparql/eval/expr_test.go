@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"testing"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/sparql"
+)
+
+// parseFilterExpr extracts the FILTER expression from a tiny query.
+func parseFilterExpr(t *testing.T, cond string) sparql.Expression {
+	t.Helper()
+	q, err := sparql.Parse(`PREFIX f: <http://f/> SELECT ?x WHERE { ?x ?p ?o . FILTER ` + cond + ` }`)
+	if err != nil {
+		t.Fatalf("parse %s: %v", cond, err)
+	}
+	g := q.Where.(*sparql.Group)
+	return g.Elems[1].(*sparql.Filter).Expr
+}
+
+func evalBool(t *testing.T, cond string, b Binding) (bool, error) {
+	t.Helper()
+	return EBVExpr(parseFilterExpr(t, cond), b)
+}
+
+func TestEBV(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want bool
+		err  bool
+	}{
+		{rdf.NewBoolean(true), true, false},
+		{rdf.NewBoolean(false), false, false},
+		{rdf.NewInteger(0), false, false},
+		{rdf.NewInteger(3), true, false},
+		{rdf.NewTypedLiteral("0.0", rdf.XSDDecimal), false, false},
+		{rdf.NewLiteral(""), false, false},
+		{rdf.NewLiteral("x"), true, false},
+		{rdf.NewIRI("http://x"), false, true},
+		{rdf.NewBlank("b"), false, true},
+		{rdf.NewTypedLiteral("zzz", "http://other"), false, true},
+	}
+	for _, c := range cases {
+		got, err := EBV(c.term)
+		if (err != nil) != c.err {
+			t.Errorf("EBV(%v) err = %v, want err=%v", c.term, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("EBV(%v) = %v, want %v", c.term, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	b := Binding{"a": rdf.NewInteger(5), "s": rdf.NewLiteral("apple")}
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`(?a = 5)`, true},
+		{`(?a != 5)`, false},
+		{`(?a < 6)`, true},
+		{`(?a <= 5)`, true},
+		{`(?a > 5)`, false},
+		{`(?a >= 5.0)`, true},
+		{`(?s = "apple")`, true},
+		{`(?s < "banana")`, true},
+		{`(?s > "banana")`, false},
+		{`(?a + 1 = 6)`, true},
+		{`(?a * 2 = 10)`, true},
+		{`(?a - 10 = -5)`, true},
+		{`(?a / 2 = 2.5)`, true},
+		{`(-?a = -5)`, true},
+	}
+	for _, c := range cases {
+		got, err := evalBool(t, c.cond, b)
+		if err != nil {
+			t.Errorf("%s: error %v", c.cond, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestComparisonErrors(t *testing.T) {
+	b := Binding{"i": rdf.NewIRI("http://x"), "j": rdf.NewIRI("http://y")}
+	// IRIs support equality but not ordering.
+	if got, err := evalBool(t, `(?i = ?i)`, b); err != nil || !got {
+		t.Errorf("IRI equality failed: %v %v", got, err)
+	}
+	if got, err := evalBool(t, `(?i != ?j)`, b); err != nil || !got {
+		t.Errorf("IRI inequality failed: %v %v", got, err)
+	}
+	if _, err := evalBool(t, `(?i < ?j)`, b); err == nil {
+		t.Error("IRI ordering should error")
+	}
+	// division by zero
+	if _, err := evalBool(t, `(?x / 0 = 1)`, Binding{"x": rdf.NewInteger(4)}); err == nil {
+		t.Error("division by zero should error")
+	}
+	// unbound variable
+	if _, err := evalBool(t, `(?zz = 1)`, Binding{}); err == nil {
+		t.Error("unbound variable should error")
+	}
+}
+
+func TestLogicalErrorTolerance(t *testing.T) {
+	// true || error = true; false && error = false (SPARQL 3-valued logic)
+	b := Binding{"x": rdf.NewInteger(1)}
+	if got, err := evalBool(t, `(?x = 1 || ?unbound = 2)`, b); err != nil || !got {
+		t.Errorf("true||error = %v, %v; want true", got, err)
+	}
+	if got, err := evalBool(t, `(?x = 2 && ?unbound = 2)`, b); err != nil || got {
+		t.Errorf("false&&error = %v, %v; want false", got, err)
+	}
+	if _, err := evalBool(t, `(?x = 2 || ?unbound = 2)`, b); err == nil {
+		t.Error("false||error should propagate the error")
+	}
+	if _, err := evalBool(t, `(?x = 1 && ?unbound = 2)`, b); err == nil {
+		t.Error("true&&error should propagate the error")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	b := Binding{
+		"iri":  rdf.NewIRI("http://x/y"),
+		"lit":  rdf.NewLangLiteral("bonjour", "fr-CA"),
+		"num":  rdf.NewInteger(7),
+		"bl":   rdf.NewBlank("n1"),
+		"self": rdf.NewIRI("http://x/y"),
+	}
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`(bound(?iri))`, true},
+		{`(bound(?nope))`, false},
+		{`(isIRI(?iri))`, true},
+		{`(isURI(?iri))`, true},
+		{`(isIRI(?lit))`, false},
+		{`(isLiteral(?lit))`, true},
+		{`(isLiteral(?bl))`, false},
+		{`(isBlank(?bl))`, true},
+		{`(isBlank(?iri))`, false},
+		{`(str(?iri) = "http://x/y")`, true},
+		{`(str(?num) = "7")`, true},
+		{`(lang(?lit) = "fr-CA")`, true},
+		{`(lang(?num) = "")`, true},
+		{`(langMatches(lang(?lit), "fr"))`, true},
+		{`(langMatches(lang(?lit), "en"))`, false},
+		{`(langMatches(lang(?lit), "*"))`, true},
+		{`(sameTerm(?iri, ?self))`, true},
+		{`(sameTerm(?iri, ?lit))`, false},
+		{`(datatype(?num) = <http://www.w3.org/2001/XMLSchema#integer>)`, true},
+	}
+	for _, c := range cases {
+		got, err := evalBool(t, c.cond, b)
+		if err != nil {
+			t.Errorf("%s: error %v", c.cond, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestRegexBuiltin(t *testing.T) {
+	b := Binding{"n": rdf.NewLiteral("Alice Smith")}
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`regex(?n, "Smith")`, true},
+		{`regex(?n, "^Alice")`, true},
+		{`regex(?n, "smith")`, false},
+		{`regex(?n, "smith", "i")`, true},
+		{`regex(?n, "ALICE.*SMITH", "i")`, true},
+		{`regex(?n, "Jones")`, false},
+	}
+	for _, c := range cases {
+		got, err := evalBool(t, c.cond, b)
+		if err != nil {
+			t.Errorf("%s: error %v", c.cond, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.cond, got, c.want)
+		}
+	}
+	// invalid pattern → error, not panic
+	if _, err := evalBool(t, `regex(?n, "([")`, b); err == nil {
+		t.Error("invalid regex should error")
+	}
+	// unsupported flag
+	if _, err := evalBool(t, `regex(?n, "a", "q")`, b); err == nil {
+		t.Error("unsupported flag should error")
+	}
+}
+
+func TestSatisfiesErrorAsFalse(t *testing.T) {
+	if Satisfies(parseFilterExpr(t, `(?unbound > 3)`), Binding{}) {
+		t.Error("error in filter must count as unsatisfied")
+	}
+	if !Satisfies(nil, Binding{}) {
+		t.Error("nil condition must be satisfied")
+	}
+}
+
+func TestNumericPromotion(t *testing.T) {
+	b := Binding{
+		"i": rdf.NewInteger(2),
+		"d": rdf.NewTypedLiteral("2.0", rdf.XSDDecimal),
+		"f": rdf.NewTypedLiteral("2e0", rdf.XSDDouble),
+	}
+	for _, cond := range []string{`(?i = ?d)`, `(?i = ?f)`, `(?d = ?f)`} {
+		got, err := evalBool(t, cond, b)
+		if err != nil || !got {
+			t.Errorf("%s = %v, %v; want true", cond, got, err)
+		}
+	}
+}

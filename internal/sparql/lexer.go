@@ -1,0 +1,454 @@
+// Package sparql implements a self-contained SPARQL 1.0 front end: a
+// lexer, an abstract syntax tree and a recursive-descent parser covering
+// the query forms, graph patterns and solution-sequence modifiers used by
+// the paper (SELECT/ASK/CONSTRUCT/DESCRIBE, basic graph patterns, UNION,
+// OPTIONAL, FILTER with built-in calls, PREFIX/BASE, FROM/FROM NAMED,
+// ORDER BY, DISTINCT/REDUCED, LIMIT/OFFSET).
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokIdent             // bare word: keyword, boolean literal or "a"
+	tokIRIRef            // <...>
+	tokPName             // prefix:local, prefix:, or :local
+	tokVar               // ?name or $name
+	tokString            // quoted string with escapes resolved
+	tokNumber            // integer/decimal/double lexical form
+	tokLangTag           // @tag
+	tokLBrace            // {
+	tokRBrace            // }
+	tokLParen            // (
+	tokRParen            // )
+	tokDot               // .
+	tokSemi              // ;
+	tokComma             // ,
+	tokEq                // =
+	tokNeq               // !=
+	tokLt                // <
+	tokGt                // >
+	tokLe                // <=
+	tokGe                // >=
+	tokAndAnd            // &&
+	tokOrOr              // ||
+	tokBang              // !
+	tokPlus              // +
+	tokMinus             // -
+	tokStar              // *
+	tokSlash             // /
+	tokHatHat            // ^^
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokIRIRef: "IRI",
+		tokPName: "prefixed name", tokVar: "variable", tokString: "string",
+		tokNumber: "number", tokLangTag: "language tag", tokLBrace: "'{'",
+		tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'", tokDot: "'.'",
+		tokSemi: "';'", tokComma: "','", tokEq: "'='", tokNeq: "'!='",
+		tokLt: "'<'", tokGt: "'>'", tokLe: "'<='", tokGe: "'>='",
+		tokAndAnd: "'&&'", tokOrOr: "'||'", tokBang: "'!'", tokPlus: "'+'",
+		tokMinus: "'-'", tokStar: "'*'", tokSlash: "'/'", tokHatHat: "'^^'",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string // semantic text (escapes resolved for strings)
+	line int
+	col  int
+}
+
+// lexer turns a query string into tokens. It is position-aware for error
+// reporting and understands SPARQL comments (# to end of line).
+type lexer struct {
+	in   string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in, line: 1, col: 1} }
+
+// SyntaxError is returned for lexical and grammatical errors, carrying the
+// 1-based source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.in) {
+		return 0
+	}
+	return l.in[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.in) {
+		return 0
+	}
+	return l.in[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.in[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line, l.col
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+	if l.pos >= len(l.in) {
+		return mk(tokEOF, ""), nil
+	}
+	c := l.peekByte()
+	switch c {
+	case '{':
+		l.advance()
+		return mk(tokLBrace, "{"), nil
+	case '}':
+		l.advance()
+		return mk(tokRBrace, "}"), nil
+	case '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case ';':
+		l.advance()
+		return mk(tokSemi, ";"), nil
+	case ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case '*':
+		l.advance()
+		return mk(tokStar, "*"), nil
+	case '/':
+		l.advance()
+		return mk(tokSlash, "/"), nil
+	case '+':
+		l.advance()
+		return mk(tokPlus, "+"), nil
+	case '-':
+		l.advance()
+		return mk(tokMinus, "-"), nil
+	case '=':
+		l.advance()
+		return mk(tokEq, "="), nil
+	case '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokNeq, "!="), nil
+		}
+		return mk(tokBang, "!"), nil
+	case '&':
+		l.advance()
+		if l.peekByte() != '&' {
+			return token{}, l.errf("expected '&&'")
+		}
+		l.advance()
+		return mk(tokAndAnd, "&&"), nil
+	case '|':
+		l.advance()
+		if l.peekByte() != '|' {
+			return token{}, l.errf("expected '||'")
+		}
+		l.advance()
+		return mk(tokOrOr, "||"), nil
+	case '^':
+		l.advance()
+		if l.peekByte() != '^' {
+			return token{}, l.errf("expected '^^'")
+		}
+		l.advance()
+		return mk(tokHatHat, "^^"), nil
+	case '<':
+		// '<' begins an IRI ref if followed by IRI characters and a closing
+		// '>' on the same token, otherwise it is the less-than operator.
+		if l.looksLikeIRIRef() {
+			return l.lexIRIRef(mk)
+		}
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokLe, "<="), nil
+		}
+		return mk(tokLt, "<"), nil
+	case '>':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokGe, ">="), nil
+		}
+		return mk(tokGt, ">"), nil
+	case '?', '$':
+		return l.lexVar(mk)
+	case '"', '\'':
+		return l.lexString(mk)
+	case '@':
+		return l.lexLangTag(mk)
+	case '.':
+		// distinguish '.' terminator from a decimal number like ".5"
+		if d := l.peekByteAt(1); d >= '0' && d <= '9' {
+			return l.lexNumber(mk)
+		}
+		l.advance()
+		return mk(tokDot, "."), nil
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber(mk)
+	}
+	if isPNCharsBase(rune(c)) || c == ':' || c == '_' {
+		return l.lexWord(mk)
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+// looksLikeIRIRef scans ahead for '>' before whitespace, to disambiguate
+// IRI references from the '<' comparison operator.
+func (l *lexer) looksLikeIRIRef() bool {
+	for i := l.pos + 1; i < len(l.in); i++ {
+		switch l.in[i] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '<', '"':
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) lexIRIRef(mk func(tokenKind, string) token) (token, error) {
+	l.advance() // '<'
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.advance()
+		if c == '>' {
+			return mk(tokIRIRef, sb.String()), nil
+		}
+		sb.WriteByte(c)
+	}
+	return token{}, l.errf("unterminated IRI reference")
+}
+
+func (l *lexer) lexVar(mk func(tokenKind, string) token) (token, error) {
+	l.advance() // '?' or '$'
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+		if !isVarNameChar(r) {
+			break
+		}
+		sb.WriteRune(r)
+		for i := 0; i < sz; i++ {
+			l.advance()
+		}
+	}
+	if sb.Len() == 0 {
+		return token{}, l.errf("empty variable name")
+	}
+	return mk(tokVar, sb.String()), nil
+}
+
+func (l *lexer) lexString(mk func(tokenKind, string) token) (token, error) {
+	quote := l.advance()
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.advance()
+		if c == quote {
+			return mk(tokString, sb.String()), nil
+		}
+		if c == '\n' {
+			return token{}, l.errf("newline in string literal")
+		}
+		if c == '\\' {
+			if l.pos >= len(l.in) {
+				break
+			}
+			switch e := l.advance(); e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case 'u', 'U':
+				width := 4
+				if e == 'U' {
+					width = 8
+				}
+				if l.pos+width > len(l.in) {
+					return token{}, l.errf("truncated unicode escape")
+				}
+				var r rune
+				if _, err := fmt.Sscanf(l.in[l.pos:l.pos+width], "%x", &r); err != nil {
+					return token{}, l.errf("invalid unicode escape")
+				}
+				for i := 0; i < width; i++ {
+					l.advance()
+				}
+				sb.WriteRune(r)
+			default:
+				return token{}, l.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) lexLangTag(mk func(tokenKind, string) token) (token, error) {
+	l.advance() // '@'
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.peekByte()
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' {
+			sb.WriteByte(c)
+			l.advance()
+			continue
+		}
+		break
+	}
+	if sb.Len() == 0 {
+		return token{}, l.errf("empty language tag")
+	}
+	return mk(tokLangTag, sb.String()), nil
+}
+
+func (l *lexer) lexNumber(mk func(tokenKind, string) token) (token, error) {
+	var sb strings.Builder
+	seenDot, seenExp := false, false
+	for l.pos < len(l.in) {
+		c := l.peekByte()
+		switch {
+		case c >= '0' && c <= '9':
+			sb.WriteByte(c)
+			l.advance()
+		case c == '.' && !seenDot && !seenExp:
+			// only part of the number if followed by a digit
+			if d := l.peekByteAt(1); d < '0' || d > '9' {
+				goto done
+			}
+			seenDot = true
+			sb.WriteByte(c)
+			l.advance()
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			sb.WriteByte(c)
+			l.advance()
+			if s := l.peekByte(); s == '+' || s == '-' {
+				sb.WriteByte(s)
+				l.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if sb.Len() == 0 {
+		return token{}, l.errf("malformed number")
+	}
+	return mk(tokNumber, sb.String()), nil
+}
+
+// lexWord scans a bare identifier (keyword or boolean) or a prefixed name.
+func (l *lexer) lexWord(mk func(tokenKind, string) token) (token, error) {
+	var sb strings.Builder
+	hasColon := false
+	for l.pos < len(l.in) {
+		r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+		if r == ':' {
+			hasColon = true
+			sb.WriteRune(r)
+			for i := 0; i < sz; i++ {
+				l.advance()
+			}
+			continue
+		}
+		if !isPNChar(r) {
+			break
+		}
+		sb.WriteRune(r)
+		for i := 0; i < sz; i++ {
+			l.advance()
+		}
+	}
+	if hasColon {
+		return mk(tokPName, sb.String()), nil
+	}
+	return mk(tokIdent, sb.String()), nil
+}
+
+func isPNCharsBase(r rune) bool {
+	return unicode.IsLetter(r)
+}
+
+func isPNChar(r rune) bool {
+	// '.' is deliberately excluded so that the triple terminator directly
+	// after a prefixed name (e.g. "ns:me.") lexes as two tokens.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func isVarNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,144 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocshare/internal/rdf"
+)
+
+// String renders the query back to parseable SPARQL text with all IRIs in
+// full (no PREFIX declarations). Parse(q.String()) yields an equivalent
+// query; this is what lets sub-queries ship between nodes as plain text.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Base != "" {
+		fmt.Fprintf(&sb, "BASE <%s>\n", q.Base)
+	}
+	switch q.Form {
+	case FormSelect:
+		sb.WriteString("SELECT ")
+		if q.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		if q.Reduced {
+			sb.WriteString("REDUCED ")
+		}
+		if q.Star {
+			sb.WriteString("*")
+		} else {
+			for i, v := range q.SelectVars {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString("?" + v)
+			}
+		}
+		sb.WriteByte('\n')
+	case FormAsk:
+		sb.WriteString("ASK\n")
+	case FormConstruct:
+		sb.WriteString("CONSTRUCT {\n")
+		writePatterns(&sb, q.Template, "  ")
+		sb.WriteString("}\n")
+	case FormDescribe:
+		sb.WriteString("DESCRIBE ")
+		if q.Star {
+			sb.WriteString("*")
+		} else {
+			for i, t := range q.DescribeTerms {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(t.String())
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, g := range q.From {
+		fmt.Fprintf(&sb, "FROM <%s>\n", g)
+	}
+	for _, g := range q.FromNamed {
+		fmt.Fprintf(&sb, "FROM NAMED <%s>\n", g)
+	}
+	if q.Where != nil {
+		sb.WriteString("WHERE ")
+		writeGraphPattern(&sb, q.Where, "")
+		sb.WriteByte('\n')
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString("ORDER BY")
+		for _, c := range q.OrderBy {
+			if c.Desc {
+				fmt.Fprintf(&sb, " DESC(%s)", c.Expr)
+			} else {
+				fmt.Fprintf(&sb, " ASC(%s)", c.Expr)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, "LIMIT %d\n", q.Limit)
+	}
+	if q.Offset >= 0 {
+		fmt.Fprintf(&sb, "OFFSET %d\n", q.Offset)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func writePatterns(sb *strings.Builder, pats []rdf.Triple, indent string) {
+	for _, t := range pats {
+		fmt.Fprintf(sb, "%s%s %s %s .\n", indent, t.S, t.P, t.O)
+	}
+}
+
+func writeGraphPattern(sb *strings.Builder, gp GraphPattern, indent string) {
+	inner := indent + "  "
+	switch p := gp.(type) {
+	case *BGP:
+		sb.WriteString("{\n")
+		writePatterns(sb, p.Patterns, inner)
+		sb.WriteString(indent + "}")
+	case *Group:
+		sb.WriteString("{\n")
+		for _, e := range p.Elems {
+			switch el := e.(type) {
+			case *BGP:
+				writePatterns(sb, el.Patterns, inner)
+			case *Filter:
+				fmt.Fprintf(sb, "%sFILTER (%s)\n", inner, el.Expr)
+			case *Optional:
+				sb.WriteString(inner + "OPTIONAL ")
+				writeGraphPattern(sb, el.Pattern, inner)
+				sb.WriteByte('\n')
+			case *GraphPat:
+				sb.WriteString(inner + "GRAPH " + el.Name.String() + " ")
+				writeGraphPattern(sb, el.Pattern, inner)
+				sb.WriteByte('\n')
+			default:
+				sb.WriteString(inner)
+				writeGraphPattern(sb, e, inner)
+				sb.WriteByte('\n')
+			}
+		}
+		sb.WriteString(indent + "}")
+	case *Union:
+		sb.WriteString("{ ")
+		writeGraphPattern(sb, p.Left, inner)
+		sb.WriteString(" UNION ")
+		writeGraphPattern(sb, p.Right, inner)
+		sb.WriteString(" }")
+	case *Optional:
+		sb.WriteString("{ OPTIONAL ")
+		writeGraphPattern(sb, p.Pattern, inner)
+		sb.WriteString(" }")
+	case *Filter:
+		fmt.Fprintf(sb, "{ FILTER (%s) }", p.Expr)
+	case *GraphPat:
+		sb.WriteString("{ GRAPH " + p.Name.String() + " ")
+		writeGraphPattern(sb, p.Pattern, inner)
+		sb.WriteString(" }")
+	default:
+		sb.WriteString("{}")
+	}
+}

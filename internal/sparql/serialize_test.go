@@ -1,0 +1,87 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTripQueries exercises every query form and pattern shape.
+var roundTripQueries = []string{
+	`PREFIX f: <http://f/> SELECT ?x WHERE { ?x f:knows f:me . }`,
+	`PREFIX f: <http://f/> SELECT DISTINCT ?x ?y WHERE { ?x f:a ?y . ?y f:b ?x . } ORDER BY DESC(?x) LIMIT 3 OFFSET 1`,
+	`PREFIX f: <http://f/> SELECT REDUCED * WHERE { ?s ?p ?o . }`,
+	`PREFIX f: <http://f/> ASK { f:a f:b f:c . }`,
+	`PREFIX f: <http://f/> CONSTRUCT { ?x f:friendOf ?y . } WHERE { ?x f:knows ?y . }`,
+	`PREFIX f: <http://f/> DESCRIBE f:alice ?x WHERE { ?x f:knows f:alice . }`,
+	`PREFIX f: <http://f/>
+SELECT ?x ?n WHERE {
+  ?x f:name ?n .
+  FILTER regex(?n, "Smith")
+  OPTIONAL { ?x f:nick ?k . FILTER(?k != "x") }
+}`,
+	`PREFIX f: <http://f/>
+SELECT ?x WHERE {
+  { ?x f:a ?y . } UNION { ?x f:b ?y . ?y f:c ?z . }
+}`,
+	`PREFIX f: <http://f/>
+SELECT ?x FROM <http://g1> FROM NAMED <http://g2> WHERE { ?x ?p ?o . FILTER(?o > 3 && bound(?x) || isIRI(?o)) }`,
+	`PREFIX f: <http://f/> SELECT ?x WHERE { ?x f:v "lit"@en . ?x f:w "5"^^<http://www.w3.org/2001/XMLSchema#integer> . ?x f:y true . }`,
+	`PREFIX f: <http://f/> SELECT ?g ?x WHERE { GRAPH ?g { ?x f:knows f:me . } }`,
+	`PREFIX f: <http://f/> SELECT ?x FROM NAMED <http://g1> WHERE { GRAPH <http://g1> { ?x f:a ?y . } ?x f:b ?z . }`,
+}
+
+func TestQuerySerializationRoundTrip(t *testing.T) {
+	for _, src := range roundTripQueries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse original: %v\n%s", err, src)
+		}
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("parse serialized: %v\noriginal: %s\nserialized:\n%s", err, src, text)
+		}
+		// structural equivalence via canonical re-serialization
+		if got, want := q2.String(), text; got != want {
+			t.Errorf("round trip unstable:\nfirst:\n%s\nsecond:\n%s", want, got)
+		}
+		if q1.Form != q2.Form || q1.Distinct != q2.Distinct || q1.Reduced != q2.Reduced ||
+			q1.Limit != q2.Limit || q1.Offset != q2.Offset {
+			t.Errorf("flags changed in round trip for %s", src)
+		}
+		if len(q1.SelectVars) != len(q2.SelectVars) {
+			t.Errorf("projection changed: %v vs %v", q1.SelectVars, q2.SelectVars)
+		}
+		if len(q1.From) != len(q2.From) || len(q1.FromNamed) != len(q2.FromNamed) {
+			t.Errorf("dataset clause changed for %s", src)
+		}
+	}
+}
+
+func TestQueryStringRendersModifiers(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?s WHERE { ?s ?p ?o . } ORDER BY ?s LIMIT 10 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT DISTINCT ?s", "ORDER BY ASC(?s)", "LIMIT 10", "OFFSET 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQueryStringBase(t *testing.T) {
+	q, err := Parse(`BASE <http://b/> SELECT ?x WHERE { ?x <p> <http://abs> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	// IRIs were already resolved against BASE at parse time
+	if !strings.Contains(s, "<http://b/p>") {
+		t.Errorf("resolved IRI missing:\n%s", s)
+	}
+	if _, err := Parse(s); err != nil {
+		t.Errorf("serialized BASE query unparseable: %v\n%s", err, s)
+	}
+}

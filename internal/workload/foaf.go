@@ -1,0 +1,226 @@
+// Package workload generates synthetic Semantic Web data and query
+// workloads for the experiments. The generator produces FOAF-style social
+// data — the scenario the paper's introduction motivates (personal users
+// sharing RDF about people they know) — with controllable size, skew and
+// cross-provider overlap, plus the query templates of the paper's
+// Figs. 4-9 parameterized over the generated entities.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adhocshare/internal/rdf"
+)
+
+// Namespaces used by the generator.
+const (
+	FOAF = "http://xmlns.com/foaf/0.1/"
+	NS   = "http://example.org/ns#"
+	Base = "http://example.org/people/"
+)
+
+// Common first/last name pools; deterministic and small so FILTER regex
+// selectivity is controllable.
+var (
+	firstNames = []string{"Alice", "Bob", "Carol", "Dave", "Erin", "Frank",
+		"Grace", "Heidi", "Ivan", "Judy", "Mallory", "Niaj", "Olivia",
+		"Peggy", "Rupert", "Sybil", "Trent", "Victor", "Walter", "Yolanda"}
+	lastNames = []string{"Smith", "Jones", "Brown", "Taylor", "Wilson",
+		"Davies", "Evans", "Thomas", "Johnson", "Roberts"}
+)
+
+// Config parameterizes a social-graph generation run.
+type Config struct {
+	// Persons is the number of people in the network.
+	Persons int
+	// Providers is the number of storage nodes the data is partitioned
+	// over (each person's description lives with one provider — the
+	// ad-hoc "providers keep their own data" premise).
+	Providers int
+	// AvgKnows is the mean out-degree of foaf:knows edges.
+	AvgKnows int
+	// ZipfS skews the popularity of knows-targets (0 disables skew;
+	// typical values 1.0–1.5). Popular people appear as objects far more
+	// often, which skews the Table I frequency distribution.
+	ZipfS float64
+	// OverlapFraction is the probability that a generated knows-edge is
+	// also replicated to other providers (personal devices carrying copies
+	// of the same social facts). 0 = fully disjoint providers.
+	OverlapFraction float64
+	// OverlapCopies is the number of additional providers a replicated
+	// fact is copied to (default 1). Set close to Providers to model
+	// widely known public facts.
+	OverlapCopies int
+	// KnowsNothingFraction adds ns:knowsNothingAbout edges (the paper's
+	// running example predicate) for this fraction of persons.
+	KnowsNothingFraction float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Persons <= 0 {
+		c.Persons = 100
+	}
+	if c.Providers <= 0 {
+		c.Providers = 4
+	}
+	if c.AvgKnows <= 0 {
+		c.AvgKnows = 3
+	}
+	if c.KnowsNothingFraction == 0 {
+		c.KnowsNothingFraction = 0.2
+	}
+	return c
+}
+
+// Dataset is the generated workload: triples partitioned by provider.
+type Dataset struct {
+	// ByProvider maps provider name (e.g. "D03") to its triples.
+	ByProvider map[string][]rdf.Triple
+	// Persons lists the person IRIs in generation order.
+	Persons []rdf.Term
+	// PopularPerson is the most-referenced person (useful as a
+	// high-frequency query constant).
+	PopularPerson rdf.Term
+	// RarePerson is a least-referenced person.
+	RarePerson rdf.Term
+}
+
+// Providers returns the provider names in deterministic order.
+func (d *Dataset) Providers() []string {
+	out := make([]string, 0, len(d.ByProvider))
+	for i := 0; i < len(d.ByProvider); i++ {
+		out = append(out, providerName(i))
+	}
+	return out
+}
+
+// TotalTriples counts all triples across providers.
+func (d *Dataset) TotalTriples() int {
+	n := 0
+	for _, ts := range d.ByProvider {
+		n += len(ts)
+	}
+	return n
+}
+
+func providerName(i int) string { return fmt.Sprintf("D%02d", i) }
+
+// PersonIRI returns the IRI term of person i.
+func PersonIRI(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sp%04d", Base, i))
+}
+
+// Generate builds a deterministic FOAF-style dataset.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Overlap decisions draw from their own stream so that toggling
+	// OverlapFraction only adds copies without perturbing the base data.
+	overlapRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Persons-1))
+	}
+	pick := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(cfg.Persons)
+	}
+
+	d := &Dataset{ByProvider: map[string][]rdf.Triple{}}
+	refCount := make([]int, cfg.Persons)
+	providerOf := func(person int) string {
+		return providerName(person % cfg.Providers)
+	}
+	add := func(provider string, t rdf.Triple) {
+		d.ByProvider[provider] = append(d.ByProvider[provider], t)
+	}
+
+	knowsP := rdf.NewIRI(FOAF + "knows")
+	nameP := rdf.NewIRI(FOAF + "name")
+	mboxP := rdf.NewIRI(FOAF + "mbox")
+	nickP := rdf.NewIRI(FOAF + "nick")
+	ageP := rdf.NewIRI(FOAF + "age")
+	knaP := rdf.NewIRI(NS + "knowsNothingAbout")
+
+	for i := 0; i < cfg.Persons; i++ {
+		person := PersonIRI(i)
+		d.Persons = append(d.Persons, person)
+		prov := providerOf(i)
+		name := fmt.Sprintf("%s %s", firstNames[i%len(firstNames)], lastNames[(i/len(firstNames))%len(lastNames)])
+		add(prov, rdf.Triple{S: person, P: nameP, O: rdf.NewLiteral(name)})
+		add(prov, rdf.Triple{S: person, P: mboxP, O: rdf.NewIRI(fmt.Sprintf("mailto:p%04d@example.org", i))})
+		add(prov, rdf.Triple{S: person, P: ageP, O: rdf.NewInteger(int64(18 + rng.Intn(60)))})
+		if rng.Intn(5) == 0 {
+			add(prov, rdf.Triple{S: person, P: nickP, O: rdf.NewLiteral(firstNames[rng.Intn(len(firstNames))])})
+		}
+		// knows edges with optional popularity skew
+		degree := 1 + rng.Intn(2*cfg.AvgKnows-1)
+		for k := 0; k < degree; k++ {
+			j := pick()
+			if j == i {
+				j = (j + 1) % cfg.Persons
+			}
+			refCount[j]++
+			t := rdf.Triple{S: person, P: knowsP, O: PersonIRI(j)}
+			add(prov, t)
+			if cfg.OverlapFraction > 0 && overlapRng.Float64() < cfg.OverlapFraction {
+				// the same fact also known by other providers, starting
+				// with the target's own
+				copies := cfg.OverlapCopies
+				if copies <= 0 {
+					copies = 1
+				}
+				for c := 0; c < copies; c++ {
+					other := providerName((j + c) % cfg.Providers)
+					if other != prov {
+						add(other, t)
+					}
+				}
+			}
+		}
+		if rng.Float64() < cfg.KnowsNothingFraction {
+			j := pick()
+			if j == i {
+				j = (j + 1) % cfg.Persons
+			}
+			add(prov, rdf.Triple{S: person, P: knaP, O: PersonIRI(j)})
+		}
+	}
+	// ensure every provider exists even if it received no person
+	for i := 0; i < cfg.Providers; i++ {
+		if _, ok := d.ByProvider[providerName(i)]; !ok {
+			d.ByProvider[providerName(i)] = nil
+		}
+	}
+	// identify popular and rare persons
+	best, worst := 0, 0
+	for i, c := range refCount {
+		if c > refCount[best] {
+			best = i
+		}
+		if c < refCount[worst] {
+			worst = i
+		}
+	}
+	d.PopularPerson = PersonIRI(best)
+	d.RarePerson = PersonIRI(worst)
+	return d
+}
+
+// UnionGraph merges all providers' triples into one graph — the
+// centralized oracle dataset (the union of all storage-node triples,
+// Sect. IV-A).
+func (d *Dataset) UnionGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, ts := range d.ByProvider {
+		g.AddAll(ts)
+	}
+	return g
+}

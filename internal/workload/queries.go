@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"adhocshare/internal/rdf"
+)
+
+// prologue is the PREFIX block shared by all generated queries.
+const prologue = `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ns: <http://example.org/ns#>
+`
+
+// QueryPrimitive is the Fig. 5 template: a single triple pattern asking
+// who knows the given person.
+func QueryPrimitive(target rdf.Term) string {
+	return fmt.Sprintf(prologue+`SELECT ?x WHERE { ?x foaf:knows %s . }`, target)
+}
+
+// QueryConjunction is the Fig. 6 template: a two-pattern BGP.
+func QueryConjunction() string {
+	return prologue + `SELECT ?x ?y ?z WHERE {
+  ?x foaf:knows ?z .
+  ?x ns:knowsNothingAbout ?y .
+}`
+}
+
+// QueryOptional is the Fig. 7 template: a BGP with an OPTIONAL part.
+func QueryOptional(nameRegex string) string {
+	return fmt.Sprintf(prologue+`SELECT ?x ?y ?n WHERE {
+  { ?x foaf:name ?n .
+    ?x foaf:knows ?y . FILTER regex(?n, %q) }
+  OPTIONAL { ?y foaf:nick ?k . }
+}`, nameRegex)
+}
+
+// QueryUnion is the Fig. 8 template: two alternative conjunctions.
+func QueryUnion(person rdf.Term) string {
+	return fmt.Sprintf(prologue+`SELECT ?x ?y ?z WHERE {
+  { ?x foaf:knows %s . ?x foaf:knows ?y . }
+  UNION
+  { ?x ns:knowsNothingAbout %s . ?x foaf:name ?z . }
+}`, person, person)
+}
+
+// QueryFilter is the Fig. 9 template: a filter plus an optional pattern.
+func QueryFilter(nameRegex string) string {
+	return fmt.Sprintf(prologue+`SELECT ?x ?y ?z WHERE {
+  ?x foaf:name ?name ;
+     ns:knowsNothingAbout ?y .
+  FILTER regex(?name, %q)
+  OPTIONAL { ?y foaf:knows ?z . }
+}`, nameRegex)
+}
+
+// QueryFig4 is the paper's Fig. 4 query: a four-pattern BGP with a regex
+// filter and descending order.
+func QueryFig4(nameRegex string) string {
+	return fmt.Sprintf(prologue+`SELECT ?x ?y ?z
+WHERE {
+  ?x foaf:name ?name .
+  ?x foaf:knows ?z .
+  ?x ns:knowsNothingAbout ?y .
+  ?y foaf:knows ?z .
+  FILTER regex(?name, %q)
+}
+ORDER BY DESC(?x)`, nameRegex)
+}
+
+// QueryAgeRange exercises numeric filters.
+func QueryAgeRange(lo, hi int) string {
+	return fmt.Sprintf(prologue+`SELECT ?x ?a WHERE {
+  ?x foaf:age ?a .
+  FILTER(?a >= %d && ?a < %d)
+}`, lo, hi)
+}
+
+// QueryAll is the all-variable flood pattern.
+func QueryAll() string {
+	return `SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`
+}

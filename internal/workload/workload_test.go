@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Persons: 50, Providers: 4, Seed: 7})
+	b := Generate(Config{Persons: 50, Providers: 4, Seed: 7})
+	if a.TotalTriples() != b.TotalTriples() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for prov, ts := range a.ByProvider {
+		bs := b.ByProvider[prov]
+		if len(ts) != len(bs) {
+			t.Fatalf("provider %s differs", prov)
+		}
+		for i := range ts {
+			if ts[i] != bs[i] {
+				t.Fatalf("triple %d of %s differs", i, prov)
+			}
+		}
+	}
+	c := Generate(Config{Persons: 50, Providers: 4, Seed: 8})
+	if c.TotalTriples() == a.TotalTriples() && sameFirst(a, c) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func sameFirst(a, b *Dataset) bool {
+	for prov, ts := range a.ByProvider {
+		bs := b.ByProvider[prov]
+		if len(ts) == 0 || len(bs) == 0 {
+			continue
+		}
+		return ts[len(ts)-1] == bs[len(bs)-1]
+	}
+	return false
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Persons: 100, Providers: 5, AvgKnows: 3, Seed: 1})
+	if len(d.Persons) != 100 {
+		t.Fatalf("persons = %d", len(d.Persons))
+	}
+	if len(d.ByProvider) != 5 {
+		t.Fatalf("providers = %d", len(d.ByProvider))
+	}
+	// every person has a name, mbox and age: at least 3 triples each
+	if d.TotalTriples() < 300 {
+		t.Errorf("total triples = %d, want >= 300", d.TotalTriples())
+	}
+	g := d.UnionGraph()
+	nameCount := g.CountMatch(rdf.Triple{
+		S: rdf.NewVar("s"), P: rdf.NewIRI(FOAF + "name"), O: rdf.NewVar("o")})
+	if nameCount != 100 {
+		t.Errorf("name triples = %d, want 100", nameCount)
+	}
+	knows := g.CountMatch(rdf.Triple{
+		S: rdf.NewVar("s"), P: rdf.NewIRI(FOAF + "knows"), O: rdf.NewVar("o")})
+	if knows < 100 {
+		t.Errorf("knows triples = %d, want >= 100", knows)
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	d := Generate(Config{Persons: 200, Providers: 4, AvgKnows: 4, ZipfS: 1.4, Seed: 3})
+	g := d.UnionGraph()
+	popular := g.CountMatch(rdf.Triple{
+		S: rdf.NewVar("s"), P: rdf.NewIRI(FOAF + "knows"), O: d.PopularPerson})
+	rare := g.CountMatch(rdf.Triple{
+		S: rdf.NewVar("s"), P: rdf.NewIRI(FOAF + "knows"), O: d.RarePerson})
+	if popular <= rare {
+		t.Errorf("popular person referenced %d times, rare %d — skew missing", popular, rare)
+	}
+	if popular < 10 {
+		t.Errorf("popular person referenced only %d times under Zipf 1.4", popular)
+	}
+}
+
+func TestOverlapFractionReplicatesFacts(t *testing.T) {
+	disjoint := Generate(Config{Persons: 100, Providers: 4, Seed: 5, OverlapFraction: 0})
+	overlapped := Generate(Config{Persons: 100, Providers: 4, Seed: 5, OverlapFraction: 0.8})
+	// the union graphs are the same size (replication adds copies of the
+	// same triples), but total stored triples grow
+	if overlapped.TotalTriples() <= disjoint.TotalTriples() {
+		t.Error("overlap fraction did not replicate facts")
+	}
+	if overlapped.UnionGraph().Size() != disjoint.UnionGraph().Size() {
+		t.Error("overlap changed the union graph (should only add copies)")
+	}
+}
+
+func TestProvidersDeterministicOrder(t *testing.T) {
+	d := Generate(Config{Persons: 10, Providers: 3, Seed: 2})
+	provs := d.Providers()
+	if len(provs) != 3 || provs[0] != "D00" || provs[2] != "D02" {
+		t.Errorf("providers = %v", provs)
+	}
+}
+
+func TestQueryTemplatesParse(t *testing.T) {
+	d := Generate(Config{Persons: 20, Providers: 2, Seed: 1})
+	queries := map[string]string{
+		"primitive":   QueryPrimitive(d.PopularPerson),
+		"conjunction": QueryConjunction(),
+		"optional":    QueryOptional("Smith"),
+		"union":       QueryUnion(d.Persons[0]),
+		"filter":      QueryFilter("Smith"),
+		"fig4":        QueryFig4("Smith"),
+		"age":         QueryAgeRange(20, 40),
+		"all":         QueryAll(),
+	}
+	for name, q := range queries {
+		if _, err := sparql.Parse(q); err != nil {
+			t.Errorf("%s: %v\n%s", name, err, q)
+		}
+	}
+}
+
+func TestQueryTemplatesMentionTargets(t *testing.T) {
+	p := PersonIRI(7)
+	q := QueryPrimitive(p)
+	if !strings.Contains(q, "p0007") {
+		t.Errorf("primitive query missing target: %s", q)
+	}
+}
