@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet lint test race bench experiments
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific static analysis: concurrency and determinism
+# conventions (see DESIGN.md "Concurrency & determinism conventions").
+lint:
+	$(GO) run ./cmd/adhoclint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Regenerate the EXPERIMENTS.md table set (seed 0 = published tables).
+experiments:
+	$(GO) run ./cmd/benchmark

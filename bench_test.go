@@ -29,10 +29,10 @@ import (
 )
 
 // benchExperiment runs one harness experiment per iteration.
-func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+func benchExperiment(b *testing.B, run func(experiments.Params) (*experiments.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tab, err := run()
+		tab, err := run(experiments.Params{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +288,7 @@ func BenchmarkNTriplesParse(b *testing.B) {
 // in one go (the `benchmark` command's workload).
 func BenchmarkRunAllExperiments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.RunAll(io.Discard); err != nil {
+		if err := experiments.RunAll(io.Discard, experiments.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printed as "file:line: [rule] message".
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// ruleNames lists every rule in reporting order.
+var ruleNames = []string{
+	ruleGuarded, ruleLockBlocking, ruleDeterminism, ruleGoroutine, ruleDiscardedError,
+}
+
+const (
+	ruleGuarded        = "guarded-field"
+	ruleLockBlocking   = "lock-blocking"
+	ruleDeterminism    = "determinism"
+	ruleGoroutine      = "goroutine-hygiene"
+	ruleDiscardedError = "discarded-error"
+)
+
+// LintPackage runs every enabled rule over one package and returns the
+// findings sorted by position, with //adhoclint:ignore directives applied.
+func LintPackage(p *Package, enabled map[string]bool) []Diagnostic {
+	on := func(rule string) bool { return enabled == nil || enabled[rule] }
+	var diags []Diagnostic
+	if on(ruleGuarded) {
+		diags = append(diags, checkGuardedFields(p)...)
+	}
+	if on(ruleLockBlocking) {
+		diags = append(diags, checkLockBlocking(p)...)
+	}
+	if on(ruleDeterminism) {
+		diags = append(diags, checkDeterminism(p)...)
+	}
+	if on(ruleGoroutine) {
+		diags = append(diags, checkGoroutines(p)...)
+	}
+	if on(ruleDiscardedError) {
+		diags = append(diags, checkDiscardedErrors(p)...)
+	}
+	diags = filterIgnored(p, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// diagAt builds a diagnostic at a token position.
+func diagAt(p *Package, pos token.Pos, rule, msg string) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Rule: rule, Msg: msg}
+}
+
+// ignoreKey identifies one source line.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// filterIgnored drops diagnostics suppressed by an "//adhoclint:ignore
+// [rule,...] reason" comment on the same line or the line directly above.
+// A directive with no rule list suppresses every rule on that line.
+func filterIgnored(p *Package, diags []Diagnostic) []Diagnostic {
+	ignores := map[ignoreKey][]string{}
+	for _, f := range p.AllFiles() {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "adhoclint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rules := []string{} // empty = all rules
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					for _, r := range strings.Split(fields[0], ",") {
+						if isRuleName(r) {
+							rules = append(rules, r)
+						}
+					}
+				}
+				ignores[ignoreKey{pos.Filename, pos.Line}] = rules
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if ignoreMatches(ignores, d, 0) || ignoreMatches(ignores, d, -1) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func ignoreMatches(ignores map[ignoreKey][]string, d Diagnostic, off int) bool {
+	rules, ok := ignores[ignoreKey{d.Pos.Filename, d.Pos.Line + off}]
+	if !ok {
+		return false
+	}
+	if len(rules) == 0 {
+		return true
+	}
+	for _, r := range rules {
+		if r == d.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+func isRuleName(s string) bool {
+	for _, r := range ruleNames {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// internalPackage reports whether the package lives under internal/ —
+// the scope of the determinism rule.
+func internalPackage(p *Package) bool {
+	return strings.Contains(p.ImportPath, "/internal/") ||
+		strings.HasSuffix(p.ImportPath, "/internal")
+}
+
+// recvName returns the receiver identifier of a method declaration, or ""
+// for functions and anonymous receivers.
+func recvName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+// recvTypeName returns the base type name of a method's receiver
+// (dereferencing a pointer receiver), or "".
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// generic receivers look like T[P]
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,151 @@
+// Command adhoclint is the project's static-analysis suite. It enforces
+// the concurrency and determinism conventions of the overlay/DQP core
+// (documented in DESIGN.md "Concurrency & determinism conventions"):
+//
+//	guarded-field      fields declared after a struct's `mu sync.Mutex`
+//	                   must only be touched while that mu is held
+//	lock-blocking      no channel operations or simnet fabric calls
+//	                   (Call/Send/Transfer) while a mutex is held
+//	determinism        no wall-clock (time.Now, time.Sleep, ...) or global
+//	                   math/rand in internal/ non-test code
+//	goroutine-hygiene  `go func` literals must be tied to a WaitGroup,
+//	                   done-channel or context
+//	discarded-error    no `_ =` discards of error values outside tests
+//
+// Usage:
+//
+//	go run ./cmd/adhoclint ./...            # whole module
+//	go run ./cmd/adhoclint ./internal/dqp   # one package
+//	go run ./cmd/adhoclint -rules determinism,discarded-error ./...
+//
+// Diagnostics print as "file:line: [rule] message"; the exit status is
+// non-zero when any diagnostic is reported. A finding can be suppressed
+// with a trailing or preceding comment:
+//
+//	//adhoclint:ignore determinism test-support helper needs wall time
+//
+// The tool is built only on go/parser, go/ast and go/types — no module
+// dependencies — so it runs anywhere the repo builds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adhoclint [-rules r1,r2] [packages]\n\nrules: %s\n", strings.Join(ruleNames, ", "))
+	}
+	flag.Parse()
+
+	enabled, err := parseRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhoclint:", err)
+		os.Exit(2)
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	n, err := run(args, enabled, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adhoclint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "adhoclint: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func parseRules(csv string) (map[string]bool, error) {
+	if csv == "" {
+		return nil, nil // nil = all rules
+	}
+	enabled := map[string]bool{}
+	for _, r := range strings.Split(csv, ",") {
+		r = strings.TrimSpace(r)
+		if !isRuleName(r) {
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", r, strings.Join(ruleNames, ", "))
+		}
+		enabled[r] = true
+	}
+	return enabled, nil
+}
+
+// run lints the packages selected by the argument patterns and writes
+// diagnostics to w, returning how many were reported.
+func run(args []string, enabled map[string]bool, w *os.File) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	modRoot, modPath, err := findModule(cwd)
+	if err != nil {
+		return 0, err
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		var got []string
+		switch {
+		case arg == "./..." || arg == "...":
+			got, err = packageDirs(modRoot)
+		case strings.HasSuffix(arg, "/..."):
+			got, err = packageDirs(filepath.Join(cwd, strings.TrimSuffix(arg, "/...")))
+		default:
+			got = []string{filepath.Join(cwd, arg)}
+		}
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range got {
+			abs, aerr := filepath.Abs(d)
+			if aerr != nil {
+				return 0, aerr
+			}
+			if !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+
+	l := newLoader(modRoot, modPath)
+	total := 0
+	for _, dir := range dirs {
+		rel, rerr := filepath.Rel(modRoot, dir)
+		if rerr != nil || strings.HasPrefix(rel, "..") {
+			return 0, fmt.Errorf("package %s is outside module %s", dir, modRoot)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		got, lerr := l.load(dir, importPath)
+		if lerr != nil {
+			return 0, fmt.Errorf("loading %s: %w", importPath, lerr)
+		}
+		pkg := got.pkg
+		if pkg == nil {
+			continue
+		}
+		for _, terr := range pkg.TypeErrs {
+			fmt.Fprintf(os.Stderr, "adhoclint: type-check %s: %v\n", importPath, terr)
+		}
+		for _, d := range LintPackage(pkg, enabled) {
+			// print module-relative paths to keep output stable across checkouts
+			if rel, e := filepath.Rel(modRoot, d.Pos.Filename); e == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(w, d.String())
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkDiscardedErrors flags `_ = x` where x has type error, and blank
+// identifiers occupying an error position of a multi-value assignment, in
+// non-test code. Errors in this codebase carry virtual-time and routing
+// context (stale nodes, unreachable successors); silently dropping them
+// hides exactly the churn conditions Sect. III-D is about.
+func checkDiscardedErrors(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// _ = err  /  _ = f()
+			if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isBlank(as.Lhs[0]) {
+				if isErr(p.Info.TypeOf(as.Rhs[0])) {
+					diags = append(diags, diagAt(p, as.Pos(), ruleDiscardedError,
+						"error discarded with _ =: handle it or document why it is safe to drop"))
+				}
+				return true
+			}
+			// x, _ := f()  with the blank in an error slot
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				tuple, ok := p.Info.TypeOf(as.Rhs[0]).(*types.Tuple)
+				if !ok || tuple.Len() != len(as.Lhs) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					if isBlank(lhs) && isErr(tuple.At(i).Type()) {
+						diags = append(diags, diagAt(p, lhs.Pos(), ruleDiscardedError,
+							fmt.Sprintf("error result %d of the call is discarded with _: handle it or document why it is safe to drop", i+1)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// blockingCalls are selector method names that move simulated messages (the
+// simnet fabric operations) or block on wall-clock time. Performing one
+// while a mutex is held serializes the whole structure behind one network
+// round-trip — the deadlock/latency hazard this rule exists to catch.
+var blockingCalls = map[string]string{
+	"Call":     "simnet RPC",
+	"Send":     "simnet one-way message",
+	"Transfer": "simnet data transfer",
+	"Sleep":    "wall-clock sleep",
+	"Wait":     "blocking wait",
+}
+
+// checkLockBlocking flags channel operations and simnet fabric calls made
+// while any convention-named mutex is held.
+func checkLockBlocking(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.AllFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			regions := muRegions(fn)
+			if len(regions) == 0 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if owner, held := insideAny(regions, n.Pos(), ""); held {
+						diags = append(diags, diagAt(p, n.Pos(), ruleLockBlocking,
+							fmt.Sprintf("channel send while %s is held in %s", owner, fn.Name.Name)))
+					}
+				case *ast.UnaryExpr:
+					if n.Op.String() == "<-" {
+						if owner, held := insideAny(regions, n.Pos(), ""); held {
+							diags = append(diags, diagAt(p, n.Pos(), ruleLockBlocking,
+								fmt.Sprintf("channel receive while %s is held in %s", owner, fn.Name.Name)))
+						}
+					}
+				case *ast.SelectStmt:
+					if owner, held := insideAny(regions, n.Pos(), ""); held {
+						diags = append(diags, diagAt(p, n.Pos(), ruleLockBlocking,
+							fmt.Sprintf("select while %s is held in %s", owner, fn.Name.Name)))
+						return false // one finding per select, not one per case
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					kind, blocking := blockingCalls[sel.Sel.Name]
+					if !blocking {
+						return true
+					}
+					if owner, held := insideAny(regions, n.Pos(), ""); held {
+						diags = append(diags, diagAt(p, n.Pos(), ruleLockBlocking,
+							fmt.Sprintf("%s (.%s) while %s is held in %s", kind, sel.Sel.Name, owner, fn.Name.Name)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+

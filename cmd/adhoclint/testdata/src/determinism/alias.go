@@ -1,0 +1,16 @@
+package determinism
+
+import (
+	mrand "math/rand"
+	clock "time"
+)
+
+// aliased imports are tracked by import path, not local name
+
+func BadAliasRand() int {
+	return mrand.Int() // want "global math/rand.Int"
+}
+
+func BadAliasTime() clock.Time {
+	return clock.Now() // want "time.Now in internal package"
+}

@@ -1,0 +1,37 @@
+// Package discarderr is the discarded-error rule fixture: `_ =` must not
+// silently drop error values in non-test code.
+package discarderr
+
+import "errors"
+
+func mayFail() error          { return errors.New("boom") }
+func value() (int, error)     { return 1, errors.New("no") }
+func pair() (int, int, error) { return 1, 2, errors.New("no") }
+
+func Good() (int, error) {
+	if err := mayFail(); err != nil {
+		return 0, err
+	}
+	v, err := value()
+	_ = v // non-error discards stay legal
+	return v, err
+}
+
+func BadSingleCall() {
+	_ = mayFail() // want "error discarded with _ ="
+}
+
+func BadVar() {
+	err := mayFail()
+	_ = err // want "error discarded with _ ="
+}
+
+func BadTuple() int {
+	v, _ := value() // want "error result 2 of the call is discarded"
+	return v
+}
+
+func BadTripleTuple() int {
+	a, b, _ := pair() // want "error result 3 of the call is discarded"
+	return a + b
+}

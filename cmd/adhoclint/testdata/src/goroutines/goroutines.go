@@ -1,0 +1,55 @@
+// Package goroutines is the goroutine-hygiene rule fixture: go func
+// literals must be tied to a WaitGroup, done-channel or context.
+package goroutines
+
+import "sync"
+
+func GoodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func GoodResultChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() { out <- compute() }()
+	return out
+}
+
+func GoodDoneChannel(done <-chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+func GoodContext(ctx interface{ Done() <-chan struct{} }) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func GoodNamed() {
+	go work() // named callee owns its lifecycle; literals only
+}
+
+func Bad() {
+	go func() { // want "no visible lifecycle"
+		work()
+	}()
+}
+
+func BadLoop(n int) {
+	for i := 0; i < n; i++ {
+		go func(i int) { // want "no visible lifecycle"
+			work()
+		}(i)
+	}
+}
+
+func work()        {}
+func compute() int { return 1 }

@@ -1,0 +1,56 @@
+// Package guarded is the guarded-field rule fixture: struct fields
+// declared after `mu` must only be touched while mu is held.
+package guarded
+
+import "sync"
+
+type Counter struct {
+	name string // before mu: immutable, unguarded
+
+	mu    sync.Mutex
+	n     int
+	peers map[string]int
+}
+
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) GoodEarlyReturn() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		c.mu.Unlock()
+		return 1
+	}
+	v := c.peers["x"]
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Counter) GoodInterleaved() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	v *= 2
+	c.mu.Lock()
+	v += c.peers["x"]
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Counter) Name() string { return c.name } // unguarded field: fine
+
+func (c *Counter) bumpLocked() { c.n++ } // Locked suffix: caller holds mu
+
+func (c *Counter) Bad() int {
+	return c.n // want "c.n is guarded by c.mu"
+}
+
+func (c *Counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.peers["x"] = 1 // want "c.peers is guarded by c.mu"
+}

@@ -1,0 +1,59 @@
+// Package locked is the lock-blocking rule fixture: no channel operations
+// or fabric calls (Call/Send/Transfer) while a mutex is held.
+package locked
+
+import "sync"
+
+type fabric struct{}
+
+func (fabric) Call(x int) int     { return x }
+func (fabric) Transfer(x int) int { return x }
+
+type node struct {
+	mu  sync.Mutex
+	out chan int
+	net fabric
+}
+
+func (n *node) Good(v int) int {
+	n.mu.Lock()
+	x := v + 1
+	n.mu.Unlock()
+	n.out <- x // fine: lock already released
+	return n.net.Call(x)
+}
+
+func (n *node) BadSend(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.out <- v // want "channel send while n.mu is held"
+}
+
+func (n *node) BadRecv() int {
+	n.mu.Lock()
+	v := <-n.out // want "channel receive while n.mu is held"
+	n.mu.Unlock()
+	return v
+}
+
+func (n *node) BadCall(v int) {
+	n.mu.Lock()
+	n.net.Call(v) // want "simnet RPC"
+	n.mu.Unlock()
+}
+
+func (n *node) BadTransfer(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.net.Transfer(v) // want "simnet data transfer"
+}
+
+func (n *node) BadSelect() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "select while n.mu is held"
+	case v := <-n.out:
+		n.out <- v
+	default:
+	}
+}

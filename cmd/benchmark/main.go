@@ -20,6 +20,7 @@ import (
 func main() {
 	run := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Int64("seed", 0, "master seed XORed into every experiment stream (0 = the published tables)")
 	flag.Parse()
 
 	if *list {
@@ -28,14 +29,15 @@ func main() {
 		}
 		return
 	}
+	p := experiments.Params{Seed: *seed}
 	if *run != "" {
-		if err := experiments.RunOne(os.Stdout, *run); err != nil {
+		if err := experiments.RunOne(os.Stdout, *run, p); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := experiments.RunAll(os.Stdout); err != nil {
+	if err := experiments.RunAll(os.Stdout, p); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,12 @@
+package chord
+
+import (
+	"os"
+	"testing"
+
+	"adhocshare/internal/testutil"
+)
+
+// Ring maintenance is simulated in-process; any goroutine outliving the
+// suite is a leak under churn.
+func TestMain(m *testing.M) { os.Exit(testutil.VerifyNoLeaks(m)) }

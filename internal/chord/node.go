@@ -411,12 +411,18 @@ func (n *Node) Leave(at simnet.VTime) simnet.VTime {
 	if succ.Addr != n.addr && !pred.IsZero() {
 		_, done, err := n.net.Call(n.addr, pred.Addr, MethodSetSuccessor, succ, now)
 		now = done
-		_ = err
+		if err != nil {
+			// Unreachable neighbour: drop it from our tables; its side of
+			// the ring repairs via stabilization once we deregister.
+			n.evict(pred.Addr)
+		}
 	}
 	if !pred.IsZero() && succ.Addr != n.addr {
 		_, done, err := n.net.Call(n.addr, succ.Addr, MethodSetPredecessor, pred, now)
 		now = done
-		_ = err
+		if err != nil {
+			n.evict(succ.Addr)
+		}
 	}
 	return now
 }

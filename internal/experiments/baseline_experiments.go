@@ -30,39 +30,39 @@ func countNameMatches(g *rdf.Graph, rx string) int {
 // (Sect. II): ingest traffic (RDFPeers ships every triple to three ring
 // places; the hybrid system ships only postings) and query traffic for
 // primitive and conjunctive queries.
-func E10VsRDFPeers() (*Table, error) {
+func E10VsRDFPeers(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Caption: "Hybrid overlay vs. RDFPeers: ingest and query traffic",
 		Headers: []string{"phase", "system", "msgs", "KiB", "resp-ms", "answers"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.3, Seed: 12,
+		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.3, Seed: p.seed(12),
 	})
 
 	// ---- hybrid ingest ----
-	dep, err := buildDeployment(10, d)
+	dep, err := buildDeployment(p, 10, d)
 	if err != nil {
 		return nil, err
 	}
 	// rebuild to isolate publication traffic: measure a fresh deployment's
 	// publish phase only
-	depFresh, err := buildDeploymentNoPublish(10, d)
+	depFresh, err := buildDeploymentNoPublish(p, 10, d)
 	if err != nil {
 		return nil, err
 	}
 	before := depFresh.sys.Net().Metrics()
-	startT := depFresh.now
+	startT := depFresh.clock.Now()
 	for _, name := range d.Providers() {
-		done, err := depFresh.sys.Publish(simnet.Addr(name), d.ByProvider[name], depFresh.now)
+		done, err := depFresh.sys.Publish(simnet.Addr(name), d.ByProvider[name], depFresh.clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		depFresh.now = done
+		depFresh.clock.Advance(done)
 	}
 	deltaH := depFresh.sys.Net().Metrics().Sub(before)
 	t.AddRow("ingest", "hybrid(postings)", deltaH.Messages, kb(deltaH.Bytes),
-		ms((depFresh.now - startT).Duration()), d.TotalTriples())
+		ms((depFresh.clock.Now() - startT).Duration()), d.TotalTriples())
 
 	// ---- RDFPeers ingest ----
 	rp := rdfpeers.NewSystem(24, netConfig())
@@ -176,8 +176,8 @@ func conjObjects(d *workload.Dataset) (rdf.Term, rdf.Term, error) {
 
 // buildDeploymentNoPublish builds the ring and storage nodes but does not
 // publish triples, so publication traffic can be measured in isolation.
-func buildDeploymentNoPublish(nIndex int, d *workload.Dataset) (*deployment, error) {
-	dep, err := buildDeployment(nIndex, &workload.Dataset{ByProvider: emptyProviders(d)})
+func buildDeploymentNoPublish(p Params, nIndex int, d *workload.Dataset) (*deployment, error) {
+	dep, err := buildDeployment(p, nIndex, &workload.Dataset{ByProvider: emptyProviders(d)})
 	if err != nil {
 		return nil, err
 	}

@@ -9,18 +9,18 @@ import (
 // node repeatedly querying the same patterns skips Chord routing and
 // location-table reads after warm-up, and the cache invalidates correctly
 // under storage churn.
-func E14LookupCache() (*Table, error) {
+func E14LookupCache(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Caption: "Initiator lookup cache across repeated queries (extension)",
 		Headers: []string{"run", "cache", "hops", "index-KiB", "total-KiB", "resp-ms", "drops"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.3, Seed: 13,
+		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.3, Seed: p.seed(13),
 	})
 	q := workload.QueryPrimitive(d.PopularPerson)
 	for _, cached := range []bool{false, true} {
-		dep, err := buildDeployment(8, d)
+		dep, err := buildDeployment(p, 8, d)
 		if err != nil {
 			return nil, err
 		}
@@ -28,8 +28,8 @@ func E14LookupCache() (*Table, error) {
 			Strategy: dqp.StrategyFreqChain, CacheLookups: cached,
 		})
 		for run := 1; run <= 3; run++ {
-			_, stats, done, err := e.Query("D00", q, dep.now)
-			dep.now = done
+			_, stats, done, err := e.Query("D00", q, dep.clock.Now())
+			dep.clock.Advance(done)
 			if err != nil {
 				return nil, err
 			}
@@ -40,8 +40,8 @@ func E14LookupCache() (*Table, error) {
 		if cached {
 			dep.sys.FailNode("D03")
 			for run := 4; run <= 5; run++ {
-				_, stats, done, err := e.Query("D00", q, dep.now)
-				dep.now = done
+				_, stats, done, err := e.Query("D00", q, dep.clock.Now())
+				dep.clock.Advance(done)
 				if err != nil {
 					return nil, err
 				}

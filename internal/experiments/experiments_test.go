@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"adhocshare/internal/simnet"
 )
 
 // cell parses a table cell as float.
@@ -29,7 +31,7 @@ func colIndex(t *testing.T, tab *Table, name string) int {
 }
 
 func TestE1Fig1(t *testing.T) {
-	tab, err := E1Fig1()
+	tab, err := E1Fig1(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestE1Fig1(t *testing.T) {
 }
 
 func TestE2IndexConstruction(t *testing.T) {
-	tab, err := E2IndexConstruction()
+	tab, err := E2IndexConstruction(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestE2IndexConstruction(t *testing.T) {
 }
 
 func TestE3LookupHopsLogShape(t *testing.T) {
-	tab, err := E3LookupHops()
+	tab, err := E3LookupHops(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestE3LookupHopsLogShape(t *testing.T) {
 }
 
 func TestE4Shapes(t *testing.T) {
-	tab, err := E4PrimitiveStrategies()
+	tab, err := E4PrimitiveStrategies(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestE4Shapes(t *testing.T) {
 }
 
 func TestE5Shapes(t *testing.T) {
-	tab, err := E5Conjunction()
+	tab, err := E5Conjunction(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestE5Shapes(t *testing.T) {
 }
 
 func TestE6Shapes(t *testing.T) {
-	tab, err := E6Optional()
+	tab, err := E6Optional(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestE6Shapes(t *testing.T) {
 }
 
 func TestE7Shapes(t *testing.T) {
-	tab, err := E7Union()
+	tab, err := E7Union(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestE7Shapes(t *testing.T) {
 }
 
 func TestE8FilterPushingShape(t *testing.T) {
-	tab, err := E8FilterPushing()
+	tab, err := E8FilterPushing(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +190,7 @@ func TestE8FilterPushingShape(t *testing.T) {
 }
 
 func TestE9AllConfigsAgree(t *testing.T) {
-	tab, err := E9Fig4EndToEnd()
+	tab, err := E9Fig4EndToEnd(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ func TestE9AllConfigsAgree(t *testing.T) {
 }
 
 func TestE10BaselineShapes(t *testing.T) {
-	tab, err := E10VsRDFPeers()
+	tab, err := E10VsRDFPeers(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +229,7 @@ func TestE10BaselineShapes(t *testing.T) {
 }
 
 func TestE11ChurnShapes(t *testing.T) {
-	tab, err := E11Churn()
+	tab, err := E11Churn(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestE11ChurnShapes(t *testing.T) {
 }
 
 func TestE12JoinSiteShapes(t *testing.T) {
-	tab, err := E12JoinSite()
+	tab, err := E12JoinSite(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,12 +270,40 @@ func TestE12JoinSiteShapes(t *testing.T) {
 	}
 }
 
+// The same Params must regenerate bit-identical tables — the property the
+// determinism lint rule protects. E2 is the heaviest consumer of workload
+// randomness (six dataset draws), so it is the canary.
+func TestSameSeedSameTables(t *testing.T) {
+	run := func() string {
+		tab, err := E2IndexConstruction(Params{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different E2 tables:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// An injected clock threads through a deployment: the run starts at the
+// clock's position and leaves the clock advanced.
+func TestInjectedClockAdvances(t *testing.T) {
+	clock := simnet.NewClock(1000)
+	if _, err := E1Fig1(Params{Clock: clock}); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() <= 1000 {
+		t.Errorf("clock did not advance past its start: %v", clock.Now())
+	}
+}
+
 func TestRunOneUnknown(t *testing.T) {
 	var sb strings.Builder
-	if err := RunOne(&sb, "E99"); err == nil {
+	if err := RunOne(&sb, "E99", Params{}); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if err := RunOne(&sb, "E1"); err != nil {
+	if err := RunOne(&sb, "E1", Params{}); err != nil {
 		t.Error(err)
 	}
 	if !strings.Contains(sb.String(), "E1") {
@@ -294,7 +324,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestE13QoSShapes(t *testing.T) {
-	tab, err := E13QoSJoinSite()
+	tab, err := E13QoSJoinSite(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +355,7 @@ func TestE13QoSShapes(t *testing.T) {
 }
 
 func TestE14CacheShapes(t *testing.T) {
-	tab, err := E14LookupCache()
+	tab, err := E14LookupCache(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +377,7 @@ func TestE14CacheShapes(t *testing.T) {
 }
 
 func TestE15RangeShapes(t *testing.T) {
-	tab, err := E15RangeQueries()
+	tab, err := E15RangeQueries(Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

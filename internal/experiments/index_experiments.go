@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"adhocshare/internal/chord"
 	"adhocshare/internal/overlay"
@@ -14,23 +13,23 @@ import (
 // E1Fig1 reconstructs the paper's Fig. 1 — index nodes N1, N4, N7, N12,
 // N15 in a 4-bit identifier space with storage nodes D1–D4 attached — and
 // reports ring structure and lookup behaviour for every key of the space.
-func E1Fig1() (*Table, error) {
+func E1Fig1(p Params) (*Table, error) {
 	sys := overlay.NewSystem(overlay.Config{Bits: 4, Replication: 1, Net: netConfig()})
-	now := simnet.VTime(0)
+	clock := p.clock()
 	for _, id := range []chord.ID{1, 4, 7, 12, 15} {
-		_, done, err := sys.AddIndexNodeWithID(simnet.Addr(fmt.Sprintf("N%d", id)), id, now)
+		_, done, err := sys.AddIndexNodeWithID(simnet.Addr(fmt.Sprintf("N%d", id)), id, clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		now = done
+		clock.Advance(done)
 	}
-	now = sys.Converge(now)
+	clock.Advance(sys.Converge(clock.Now()))
 	for i := 1; i <= 4; i++ {
-		_, done, err := sys.AddStorageNode(simnet.Addr(fmt.Sprintf("D%d", i)), now)
+		_, done, err := sys.AddStorageNode(simnet.Addr(fmt.Sprintf("D%d", i)), clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		now = done
+		clock.Advance(done)
 	}
 	t := &Table{
 		ID:      "E1",
@@ -56,8 +55,8 @@ func E1Fig1() (*Table, error) {
 	// verify every key resolves to its ring owner by actual routing
 	bad := 0
 	for k := 0; k < 16; k++ {
-		owner, _, done, err := sys.ResolveKey("D1", chord.ID(k), now)
-		now = done
+		owner, _, done, err := sys.ResolveKey("D1", chord.ID(k), clock.Now())
+		clock.Advance(done)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +82,7 @@ func ringOwner(idx []*overlay.IndexNode, key chord.ID) chord.ID {
 // E2IndexConstruction measures two-level index construction (Fig. 2 /
 // Table I): messages, bytes and postings as functions of dataset size and
 // ring size. Six keys per triple are published; batched per index node.
-func E2IndexConstruction() (*Table, error) {
+func E2IndexConstruction(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Caption: "Index construction cost (six keys per triple, Sect. III-B)",
@@ -92,32 +91,32 @@ func E2IndexConstruction() (*Table, error) {
 	for _, nIndex := range []int{4, 16} {
 		for _, persons := range []int{50, 200, 500} {
 			d := workload.Generate(workload.Config{
-				Persons: persons, Providers: 8, AvgKnows: 3, Seed: 42,
+				Persons: persons, Providers: 8, AvgKnows: 3, Seed: p.seed(42),
 			})
 			sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 1, Net: netConfig()})
-			now := simnet.VTime(0)
+			clock := p.clock()
 			for i := 0; i < nIndex; i++ {
-				_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), now)
+				_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), clock.Now())
 				if err != nil {
 					return nil, err
 				}
-				now = done
+				clock.Advance(done)
 			}
-			now = sys.Converge(now)
+			clock.Advance(sys.Converge(clock.Now()))
 			for _, name := range d.Providers() {
-				_, done, err := sys.AddStorageNode(simnet.Addr(name), now)
+				_, done, err := sys.AddStorageNode(simnet.Addr(name), clock.Now())
 				if err != nil {
 					return nil, err
 				}
-				now = done
+				clock.Advance(done)
 			}
 			before := sys.Net().Metrics()
 			for _, name := range d.Providers() {
-				done, err := sys.Publish(simnet.Addr(name), d.ByProvider[name], now)
+				done, err := sys.Publish(simnet.Addr(name), d.ByProvider[name], clock.Now())
 				if err != nil {
 					return nil, err
 				}
-				now = done
+				clock.Advance(done)
 			}
 			delta := sys.Net().Metrics().Sub(before)
 			total := d.TotalTriples()
@@ -136,7 +135,7 @@ func E2IndexConstruction() (*Table, error) {
 // E3LookupHops measures Chord lookup cost against ring size — the
 // scalability property the hybrid design inherits (Sect. III-B). Expected
 // shape: average hops ≈ O(log N).
-func E3LookupHops() (*Table, error) {
+func E3LookupHops(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
 		Caption: "DHT lookup hops vs. ring size (expect O(log N) growth)",
@@ -155,18 +154,20 @@ func E3LookupHops() (*Table, error) {
 			seen[id] = true
 			refs = append(refs, chord.Ref{ID: id, Addr: addr})
 		}
-		nodes, now, err := chord.BuildRing(net, refs, chord.Config{Bits: 24}, 0)
+		clock := p.clock()
+		nodes, built, err := chord.BuildRing(net, refs, chord.Config{Bits: 24}, clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(99))
+		clock.Advance(built)
+		rng := p.Rand(99)
 		totalHops, maxHops := 0, 0
 		const lookups = 200
 		for i := 0; i < lookups; i++ {
 			start := nodes[rng.Intn(len(nodes))]
 			key := chord.HashID(fmt.Sprintf("key-%d", i), 24)
-			_, hops, done, err := start.Lookup(key, now)
-			now = done
+			_, hops, done, err := start.Lookup(key, clock.Now())
+			clock.Advance(done)
 			if err != nil {
 				return nil, err
 			}
@@ -188,15 +189,15 @@ func E3LookupHops() (*Table, error) {
 // handover) and index-node crashes healed by successor lists plus
 // replication. The measured quantity is query completeness: the fraction
 // of the oracle answer the degraded system still returns.
-func E11Churn() (*Table, error) {
+func E11Churn(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E11",
 		Caption: "Churn resilience: query completeness under node failures",
 		Headers: []string{"scenario", "failed", "answers", "oracle", "completeness", "stale-drops", "msgs"},
 	}
 	mk := func() (*deployment, *workload.Dataset, error) {
-		d := workload.Generate(workload.Config{Persons: 120, Providers: 12, AvgKnows: 3, Seed: 11, ZipfS: 1.3})
-		dep, err := buildDeployment(8, d)
+		d := workload.Generate(workload.Config{Persons: 120, Providers: 12, AvgKnows: 3, Seed: p.seed(11), ZipfS: 1.3})
+		dep, err := buildDeployment(p, 8, d)
 		return dep, d, err
 	}
 	query := func(d *workload.Dataset) string { return workload.QueryPrimitive(d.PopularPerson) }
@@ -250,8 +251,8 @@ func E11Churn() (*Table, error) {
 	}
 	want = oracleCount(d)
 	victim := dep.sys.IndexNodes()[2].Addr()
-	done, err := dep.sys.RemoveIndexGraceful(victim, dep.now)
-	dep.now = done
+	done, err := dep.sys.RemoveIndexGraceful(victim, dep.clock.Now())
+	dep.clock.Advance(done)
 	if err != nil {
 		return nil, err
 	}
@@ -271,9 +272,9 @@ func E11Churn() (*Table, error) {
 	victim = dep.sys.IndexNodes()[3].Addr()
 	dep.sys.FailNode(victim)
 	for i := 0; i < 5; i++ {
-		dep.now = dep.sys.StabilizeRound(dep.now)
+		dep.clock.Advance(dep.sys.StabilizeRound(dep.clock.Now()))
 	}
-	dep.now = dep.sys.Converge(dep.now)
+	dep.clock.Advance(dep.sys.Converge(dep.clock.Now()))
 	res, stats, err = dep.runQuery(dqpChain(), "D00", query(d))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"adhocshare/internal/simnet"
+)
+
+// Params carries the reproducibility knobs of one experiment run. Every
+// experiment draws its randomness and virtual time exclusively from here,
+// so identical Params always regenerate identical tables.
+//
+// Seed is XORed into each experiment's internal stream seeds: Seed 0
+// reproduces the published EXPERIMENTS.md tables bit-for-bit, and any
+// other value yields a complete, equally deterministic re-run over a
+// different dataset draw.
+//
+// Clock supplies the virtual clock a deployment advances; nil starts a
+// fresh clock at the simulation epoch.
+type Params struct {
+	Seed  int64
+	Clock *simnet.Clock
+}
+
+// clock returns the injected clock, or a fresh one at virtual time zero.
+func (p Params) clock() *simnet.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return simnet.NewClock(0)
+}
+
+// seed derives the effective seed of one named stream: the stream's fixed
+// base seed perturbed by the run's master seed.
+func (p Params) seed(base int64) int64 { return base ^ p.Seed }
+
+// Rand builds an independent deterministic random stream for one purpose.
+func (p Params) Rand(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(p.seed(base)))
+}

@@ -13,14 +13,14 @@ import (
 // fraction of the nodes gets degraded links (factor 6 slower); the QoS-
 // aware policy reads the link factors and routes merges around the slow
 // nodes, while the static policies ignore them.
-func E13QoSJoinSite() (*Table, error) {
+func E13QoSJoinSite(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Caption: "QoS-aware join-site selection on heterogeneous links (extension; Ye et al.)",
 		Headers: []string{"slow-nodes", "policy", "sols", "ship-KiB", "resp-ms"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 300, Providers: 10, AvgKnows: 4, ZipfS: 1.4, Seed: 88,
+		Persons: 300, Providers: 10, AvgKnows: 4, ZipfS: 1.4, Seed: p.seed(88),
 	})
 	big, small := d.PopularPerson, secondTarget(d)
 	selective := fmt.Sprintf(`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
@@ -57,7 +57,7 @@ SELECT ?x ?y WHERE {
 		for _, js := range []dqp.JoinSitePolicy{
 			dqp.JoinSiteMoveSmall, dqp.JoinSiteQuerySite, dqp.JoinSiteThirdSite, dqp.JoinSiteQoS,
 		} {
-			dep, err := buildDeployment(8, d)
+			dep, err := buildDeployment(p, 8, d)
 			if err != nil {
 				return nil, err
 			}

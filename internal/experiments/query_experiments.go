@@ -18,7 +18,7 @@ func dqpFreq() dqp.Options  { return dqp.Options{Strategy: dqp.StrategyFreqChain
 // the chains minimize transmission — with the caveat, measured here, that
 // the chain's byte advantage needs overlapping provider data or selective
 // seeds; on fully disjoint data the accumulated chain ships more.
-func E4PrimitiveStrategies() (*Table, error) {
+func E4PrimitiveStrategies(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Caption: "Primitive query strategies (Fig. 5): traffic vs. response time",
@@ -30,7 +30,7 @@ func E4PrimitiveStrategies() (*Table, error) {
 		// regime where in-network aggregation pays off.
 		d := workload.Generate(workload.Config{
 			Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.4,
-			OverlapFraction: overlap, OverlapCopies: 9, Seed: 21,
+			OverlapFraction: overlap, OverlapCopies: 9, Seed: p.seed(21),
 		})
 		for _, target := range []struct {
 			name string
@@ -47,7 +47,7 @@ func E4PrimitiveStrategies() (*Table, error) {
 				{"chain", dqpChain()},
 				{"freq-chain", dqpFreq()},
 			} {
-				dep, err := buildDeployment(8, d)
+				dep, err := buildDeployment(p, 8, d)
 				if err != nil {
 					return nil, err
 				}
@@ -71,7 +71,7 @@ func E4PrimitiveStrategies() (*Table, error) {
 // E5Conjunction compares conjunction processing (Sect. IV-D): the
 // sequential pipeline (semi-join seeding) versus parallel evaluation with
 // overlap-aware assembly, with and without frequency-driven reordering.
-func E5Conjunction() (*Table, error) {
+func E5Conjunction(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Caption: "Conjunctive BGPs (Fig. 6): pipeline vs. parallel-join, reorder on/off",
@@ -79,7 +79,7 @@ func E5Conjunction() (*Table, error) {
 	}
 	d := workload.Generate(workload.Config{
 		Persons: 300, Providers: 12, AvgKnows: 4, ZipfS: 1.3,
-		KnowsNothingFraction: 0.15, Seed: 33,
+		KnowsNothingFraction: 0.15, Seed: p.seed(33),
 	})
 	queries := []struct {
 		name string
@@ -91,7 +91,7 @@ func E5Conjunction() (*Table, error) {
 	for _, query := range queries {
 		for _, cj := range []dqp.Conjunction{dqp.ConjPipeline, dqp.ConjParallelJoin} {
 			for _, reorder := range []bool{false, true} {
-				dep, err := buildDeployment(8, d)
+				dep, err := buildDeployment(p, 8, d)
 				if err != nil {
 					return nil, err
 				}
@@ -122,14 +122,14 @@ func E5Conjunction() (*Table, error) {
 // E6Optional evaluates OPTIONAL processing (Fig. 7 / Sect. IV-E) under the
 // three join-site policies with skewed operand sizes, validating the
 // move-small recommendation.
-func E6Optional() (*Table, error) {
+func E6Optional(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Caption: "OPTIONAL (Fig. 7): left-outer-join placement policies",
 		Headers: []string{"filter-side", "policy", "sols", "ship-KiB", "total-KiB", "resp-ms"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 250, Providers: 10, AvgKnows: 4, Seed: 44,
+		Persons: 250, Providers: 10, AvgKnows: 4, Seed: p.seed(44),
 	})
 	// Two skews: a selective mandatory side (small Ω1, large Ω2-ish pool)
 	// and a broad mandatory side.
@@ -142,7 +142,7 @@ func E6Optional() (*Table, error) {
 	}
 	for _, c := range cases {
 		for _, js := range []dqp.JoinSitePolicy{dqp.JoinSiteMoveSmall, dqp.JoinSiteQuerySite, dqp.JoinSiteThirdSite} {
-			dep, err := buildDeployment(8, d)
+			dep, err := buildDeployment(p, 8, d)
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +167,7 @@ func E6Optional() (*Table, error) {
 // E7Union evaluates UNION processing (Fig. 8 / Sect. IV-F): branches run
 // in parallel; the union lands at a shared node when the branch results
 // already co-reside, otherwise per the join-site policy.
-func E7Union() (*Table, error) {
+func E7Union(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Caption: "UNION (Fig. 8): parallel branches and union placement",
@@ -175,7 +175,7 @@ func E7Union() (*Table, error) {
 	}
 	d := workload.Generate(workload.Config{
 		Persons: 250, Providers: 10, AvgKnows: 4, ZipfS: 1.3,
-		KnowsNothingFraction: 0.3, Seed: 55,
+		KnowsNothingFraction: 0.3, Seed: p.seed(55),
 	})
 	q := workload.QueryUnion(d.PopularPerson)
 	for _, s := range []struct {
@@ -186,7 +186,7 @@ func E7Union() (*Table, error) {
 		{"chain/move-small", dqp.Options{Strategy: dqp.StrategyChain, JoinSite: dqp.JoinSiteMoveSmall}},
 		{"freq-chain/move-small", dqp.Options{Strategy: dqp.StrategyFreqChain, JoinSite: dqp.JoinSiteMoveSmall, PushFilters: true, ReorderJoins: true}},
 	} {
-		dep, err := buildDeployment(8, d)
+		dep, err := buildDeployment(p, 8, d)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +206,7 @@ func E7Union() (*Table, error) {
 // E8FilterPushing reproduces Sect. IV-G: pushing the regex filter to the
 // storage nodes shrinks shipped intermediate results, monotonically with
 // filter selectivity.
-func E8FilterPushing() (*Table, error) {
+func E8FilterPushing(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Caption: "Filter pushing (Fig. 9): shipped bytes vs. filter selectivity",
@@ -214,14 +214,14 @@ func E8FilterPushing() (*Table, error) {
 	}
 	d := workload.Generate(workload.Config{
 		Persons: 300, Providers: 10, AvgKnows: 3,
-		KnowsNothingFraction: 0.5, Seed: 66,
+		KnowsNothingFraction: 0.5, Seed: p.seed(66),
 	})
 	g := d.UnionGraph()
 	// regexes of decreasing selectivity over generated first names
 	for _, rx := range []string{"^Alice Smith$", "Smith", "a"} {
 		matching := countNameMatches(g, rx)
 		for _, pushed := range []bool{true, false} {
-			dep, err := buildDeployment(8, d)
+			dep, err := buildDeployment(p, 8, d)
 			if err != nil {
 				return nil, err
 			}
@@ -245,7 +245,7 @@ func E8FilterPushing() (*Table, error) {
 
 // E9Fig4EndToEnd runs the paper's Fig. 4 query — four patterns, a regex
 // filter and ORDER BY DESC — end to end across the full strategy matrix.
-func E9Fig4EndToEnd() (*Table, error) {
+func E9Fig4EndToEnd(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Caption: "Fig. 4 query end-to-end across the strategy matrix",
@@ -253,14 +253,14 @@ func E9Fig4EndToEnd() (*Table, error) {
 	}
 	d := workload.Generate(workload.Config{
 		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.2,
-		KnowsNothingFraction: 0.4, Seed: 77,
+		KnowsNothingFraction: 0.4, Seed: p.seed(77),
 	})
 	q := workload.QueryFig4("Smith")
 	firstSols := -1
 	for _, st := range []dqp.Strategy{dqp.StrategyBasic, dqp.StrategyChain, dqp.StrategyFreqChain} {
 		for _, cj := range []dqp.Conjunction{dqp.ConjPipeline, dqp.ConjParallelJoin} {
 			for _, flags := range []struct{ push, reorder bool }{{false, false}, {true, true}} {
-				dep, err := buildDeployment(8, d)
+				dep, err := buildDeployment(p, 8, d)
 				if err != nil {
 					return nil, err
 				}
@@ -293,14 +293,14 @@ func E9Fig4EndToEnd() (*Table, error) {
 
 // E12JoinSite sweeps operand-size skew for the three join-site policies of
 // Sect. II on a two-group conjunction.
-func E12JoinSite() (*Table, error) {
+func E12JoinSite(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E12",
 		Caption: "Join-site selection under operand skew (move-small / query-site / third-site)",
 		Headers: []string{"skew(regexL/regexR)", "policy", "sols", "ship-KiB", "total-KiB", "resp-ms"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 300, Providers: 10, AvgKnows: 4, ZipfS: 1.4, Seed: 88,
+		Persons: 300, Providers: 10, AvgKnows: 4, ZipfS: 1.4, Seed: p.seed(88),
 	})
 	// The two groups must produce solution sets that reside on *different*
 	// sites (otherwise the shared-site shortcut bypasses the policy), so
@@ -325,7 +325,7 @@ SELECT ?x WHERE {
   { ?x foaf:knows %s . }
 }`, c.l, c.r)
 		for _, js := range []dqp.JoinSitePolicy{dqp.JoinSiteMoveSmall, dqp.JoinSiteQuerySite, dqp.JoinSiteThirdSite} {
-			dep, err := buildDeployment(8, d)
+			dep, err := buildDeployment(p, 8, d)
 			if err != nil {
 				return nil, err
 			}

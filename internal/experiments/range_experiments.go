@@ -15,14 +15,14 @@ import (
 // FILTER at the providers, while RDFPeers uses its locality-preserving
 // hash so the matching triples live on a contiguous ring arc (the
 // technique the paper describes in Sect. II).
-func E15RangeQueries() (*Table, error) {
+func E15RangeQueries(p Params) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Caption: "Numeric range queries: hybrid pushed filter vs. RDFPeers locality-preserving hashing",
 		Headers: []string{"range", "system", "answers", "msgs", "KiB", "nodes-visited", "resp-ms"},
 	}
 	d := workload.Generate(workload.Config{
-		Persons: 300, Providers: 10, AvgKnows: 2, Seed: 19,
+		Persons: 300, Providers: 10, AvgKnows: 2, Seed: p.seed(19),
 	})
 	ageP := rdf.NewIRI(workload.FOAF + "age")
 	oracleCount := func(lo, hi int) int {
@@ -64,7 +64,7 @@ func E15RangeQueries() (*Table, error) {
 		want := oracleCount(lo, hi)
 
 		// hybrid: predicate-key lookup + pushed filter
-		dep, err := buildDeployment(8, d)
+		dep, err := buildDeployment(p, 8, d)
 		if err != nil {
 			return nil, err
 		}

@@ -9,7 +9,7 @@ import (
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func() (*Table, error)
+	Run  func(Params) (*Table, error)
 }
 
 // All lists every experiment in index order.
@@ -33,11 +33,11 @@ func All() []Experiment {
 	}
 }
 
-// RunAll executes every experiment, writing each table to w as it
-// completes. It returns the first error encountered.
-func RunAll(w io.Writer) error {
+// RunAll executes every experiment with the given parameters, writing each
+// table to w as it completes. It returns the first error encountered.
+func RunAll(w io.Writer, p Params) error {
 	for _, e := range All() {
-		t, err := e.Run()
+		t, err := e.Run(p)
 		if err != nil {
 			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
 		}
@@ -47,10 +47,10 @@ func RunAll(w io.Writer) error {
 }
 
 // RunOne executes a single experiment by ID.
-func RunOne(w io.Writer, id string) error {
+func RunOne(w io.Writer, id string, p Params) error {
 	for _, e := range All() {
 		if e.ID == id {
-			t, err := e.Run()
+			t, err := e.Run(p)
 			if err != nil {
 				return err
 			}

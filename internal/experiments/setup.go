@@ -22,36 +22,37 @@ func netConfig() simnet.Config {
 	}
 }
 
-// deployment bundles an overlay with the virtual clock used to drive it.
+// deployment bundles an overlay with the virtual clock that drives it.
 type deployment struct {
-	sys *overlay.System
-	now simnet.VTime
+	sys   *overlay.System
+	clock *simnet.Clock
 }
 
 // buildDeployment creates a converged overlay with nIndex index nodes and
-// the dataset's providers as storage nodes, publishing all triples.
-func buildDeployment(nIndex int, d *workload.Dataset) (*deployment, error) {
+// the dataset's providers as storage nodes, publishing all triples. The
+// deployment runs on the clock injected via p.
+func buildDeployment(p Params, nIndex int, d *workload.Dataset) (*deployment, error) {
 	sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 2, Net: netConfig()})
-	dep := &deployment{sys: sys}
+	dep := &deployment{sys: sys, clock: p.clock()}
 	for i := 0; i < nIndex; i++ {
-		_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), dep.now)
+		_, done, err := sys.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%02d", i)), dep.clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		dep.now = done
+		dep.clock.Advance(done)
 	}
-	dep.now = sys.Converge(dep.now)
+	dep.clock.Advance(sys.Converge(dep.clock.Now()))
 	for _, name := range d.Providers() {
-		_, done, err := sys.AddStorageNode(simnet.Addr(name), dep.now)
+		_, done, err := sys.AddStorageNode(simnet.Addr(name), dep.clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		dep.now = done
-		done, err = sys.Publish(simnet.Addr(name), d.ByProvider[name], dep.now)
+		dep.clock.Advance(done)
+		done, err = sys.Publish(simnet.Addr(name), d.ByProvider[name], dep.clock.Now())
 		if err != nil {
 			return nil, err
 		}
-		dep.now = done
+		dep.clock.Advance(done)
 	}
 	return dep, nil
 }
@@ -60,8 +61,8 @@ func buildDeployment(nIndex int, d *workload.Dataset) (*deployment, error) {
 // the deployment clock.
 func (dep *deployment) runQuery(opts dqp.Options, initiator, query string) (*dqp.Result, dqp.Stats, error) {
 	e := dqp.NewEngine(dep.sys, opts)
-	res, stats, done, err := e.Query(simnet.Addr(initiator), query, dep.now)
-	dep.now = done
+	res, stats, done, err := e.Query(simnet.Addr(initiator), query, dep.clock.Now())
+	dep.clock.Advance(done)
 	return res, stats, err
 }
 

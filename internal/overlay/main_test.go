@@ -1,0 +1,12 @@
+package overlay
+
+import (
+	"os"
+	"testing"
+
+	"adhocshare/internal/testutil"
+)
+
+// The overlay runs entirely in-process; any goroutine outliving the suite
+// is a leak under churn.
+func TestMain(m *testing.M) { os.Exit(testutil.VerifyNoLeaks(m)) }

@@ -1,0 +1,12 @@
+package simnet
+
+import (
+	"os"
+	"testing"
+
+	"adhocshare/internal/testutil"
+)
+
+// The fabric delivers synchronously on the caller's goroutine; anything
+// still running after the suite is a leak.
+func TestMain(m *testing.M) { os.Exit(testutil.VerifyNoLeaks(m)) }

@@ -114,6 +114,10 @@ func (c Config) withDefaults() Config {
 type Network struct {
 	cfg Config
 
+	// metrics carries its own lock and sits above mu: traffic accounting
+	// must never serialize behind the membership lock.
+	metrics metrics
+
 	mu     sync.RWMutex
 	nodes  map[Addr]Handler
 	failed map[Addr]bool
@@ -123,8 +127,6 @@ type Network struct {
 	// the heterogeneous ad-hoc links that motivate QoS-aware join-site
 	// selection (Ye et al., paper Sect. II).
 	linkFactor map[Addr]float64
-
-	metrics metrics
 }
 
 type metrics struct {

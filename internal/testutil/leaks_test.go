@@ -1,0 +1,43 @@
+package testutil
+
+import "testing"
+
+type fakeSuite struct {
+	code int
+	body func()
+}
+
+func (f fakeSuite) Run() int {
+	if f.body != nil {
+		f.body()
+	}
+	return f.code
+}
+
+func TestVerifyNoLeaksClean(t *testing.T) {
+	if got := VerifyNoLeaks(fakeSuite{code: 0}); got != 0 {
+		t.Errorf("clean suite: VerifyNoLeaks = %d, want 0", got)
+	}
+}
+
+func TestVerifyNoLeaksPropagatesFailure(t *testing.T) {
+	if got := VerifyNoLeaks(fakeSuite{code: 3}); got != 3 {
+		t.Errorf("failing suite: VerifyNoLeaks = %d, want 3", got)
+	}
+}
+
+func TestVerifyNoLeaksDetectsLeak(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // unblock the deliberate leak so it does not outlive this test
+	leaky := fakeSuite{code: 0, body: func() {
+		started := make(chan struct{})
+		go func() {
+			close(started)
+			<-release
+		}()
+		<-started
+	}}
+	if got := VerifyNoLeaks(leaky); got == 0 {
+		t.Error("leaked goroutine went undetected")
+	}
+}

@@ -57,6 +57,11 @@ type Config struct {
 	KnowsNothingFraction float64
 	// Seed makes the run reproducible.
 	Seed int64
+	// Rng supplies the base random stream directly, overriding Seed; when
+	// nil, a stream is seeded from Seed. Injection lets a driver derive all
+	// of a run's randomness from one master source. (Overlap replication
+	// draws from its own Seed-derived stream either way — see Generate.)
+	Rng *rand.Rand
 }
 
 // withDefaults fills unset fields.
@@ -117,7 +122,10 @@ func PersonIRI(i int) rdf.Term {
 // Generate builds a deterministic FOAF-style dataset.
 func Generate(cfg Config) *Dataset {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	// Overlap decisions draw from their own stream so that toggling
 	// OverlapFraction only adds copies without perturbing the base data.
 	overlapRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))

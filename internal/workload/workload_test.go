@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -28,6 +30,20 @@ func TestGenerateDeterministic(t *testing.T) {
 	c := Generate(Config{Persons: 50, Providers: 4, Seed: 8})
 	if c.TotalTriples() == a.TotalTriples() && sameFirst(a, c) {
 		t.Error("different seeds produced identical data")
+	}
+}
+
+// An injected Rng seeded with S must reproduce the Seed: S run exactly —
+// the two configuration styles are interchangeable.
+func TestGenerateInjectedRng(t *testing.T) {
+	a := Generate(Config{Persons: 60, Providers: 4, ZipfS: 1.3, Seed: 5})
+	b := Generate(Config{Persons: 60, Providers: 4, ZipfS: 1.3, Seed: 5,
+		Rng: rand.New(rand.NewSource(5))})
+	if !reflect.DeepEqual(a.ByProvider, b.ByProvider) {
+		t.Error("injected rng run differs from equivalent seeded run")
+	}
+	if a.PopularPerson != b.PopularPerson || a.RarePerson != b.RarePerson {
+		t.Error("derived persons differ between seeded and injected runs")
 	}
 }
 
