@@ -21,16 +21,33 @@ func (d Diagnostic) String() string {
 
 // ruleNames lists every rule in reporting order.
 var ruleNames = []string{
-	ruleGuarded, ruleLockBlocking, ruleDeterminism, ruleGoroutine, ruleDiscardedError,
+	ruleGuarded, ruleLockBlocking, ruleLockOrder, ruleRPCProto, rulePayloadSize,
+	ruleDeterminism, ruleGoroutine, ruleDiscardedError,
 }
 
 const (
 	ruleGuarded        = "guarded-field"
 	ruleLockBlocking   = "lock-blocking"
+	ruleLockOrder      = "lock-order"
+	ruleRPCProto       = "rpc-protocol"
+	rulePayloadSize    = "payload-size"
 	ruleDeterminism    = "determinism"
 	ruleGoroutine      = "goroutine-hygiene"
 	ruleDiscardedError = "discarded-error"
 )
+
+// ruleDocs gives each rule its one-line description, shown by -list and
+// embedded in the SARIF rule metadata.
+var ruleDocs = map[string]string{
+	ruleGuarded:        "fields declared after a struct's `mu` must only be touched while that mu is held",
+	ruleLockBlocking:   "no blocking operation (channel op, simnet fabric call, sleep, wait) while a mutex is held, directly or through calls",
+	ruleLockOrder:      "mutex acquisition order must be cycle-free across the program; no re-acquisition of a held mutex",
+	ruleRPCProto:       "Method* constants, HandleCall dispatch switches and Network.Call/Send/Transfer sites must agree on methods and payload types",
+	rulePayloadSize:    "every SizeBytes method must account for every field of its receiver struct (or carry an explaining ignore directive)",
+	ruleDeterminism:    "no wall-clock (time.Now, time.Sleep, ...) or global math/rand in internal/ non-test code",
+	ruleGoroutine:      "`go func` literals must be tied to a WaitGroup, done-channel or context",
+	ruleDiscardedError: "no `_ =` discards of error values outside tests",
+}
 
 // LintPackage runs every enabled rule over one package and returns the
 // findings sorted by position, with //adhoclint:ignore directives applied.
@@ -53,6 +70,29 @@ func LintPackage(p *Package, enabled map[string]bool) []Diagnostic {
 		diags = append(diags, checkDiscardedErrors(p)...)
 	}
 	diags = filterIgnored(p, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// LintProgram runs the whole-program rules (lock-order, the
+// interprocedural half of lock-blocking, rpc-protocol, payload-size) over
+// the analyzed packages together, with ignore directives from every
+// analyzed package applied.
+func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, checkProgramLocks(prog, enabled)...)
+	diags = append(diags, checkRPCProtocol(prog, enabled)...)
+	diags = append(diags, checkPayloadSizes(prog, enabled)...)
+	ignores := map[ignoreKey][]string{}
+	for _, p := range prog.Pkgs {
+		collectIgnores(p, ignores)
+	}
+	diags = applyIgnores(ignores, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
 			return diags[i].Pos.Filename < diags[j].Pos.Filename
@@ -60,9 +100,11 @@ func LintPackage(p *Package, enabled map[string]bool) []Diagnostic {
 		if diags[i].Pos.Line != diags[j].Pos.Line {
 			return diags[i].Pos.Line < diags[j].Pos.Line
 		}
-		return diags[i].Rule < diags[j].Rule
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Msg < diags[j].Msg
 	})
-	return diags
 }
 
 // diagAt builds a diagnostic at a token position.
@@ -81,6 +123,12 @@ type ignoreKey struct {
 // A directive with no rule list suppresses every rule on that line.
 func filterIgnored(p *Package, diags []Diagnostic) []Diagnostic {
 	ignores := map[ignoreKey][]string{}
+	collectIgnores(p, ignores)
+	return applyIgnores(ignores, diags)
+}
+
+// collectIgnores records the package's ignore directives into the map.
+func collectIgnores(p *Package, ignores map[ignoreKey][]string) {
 	for _, f := range p.AllFiles() {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -103,6 +151,9 @@ func filterIgnored(p *Package, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
+}
+
+func applyIgnores(ignores map[ignoreKey][]string, diags []Diagnostic) []Diagnostic {
 	if len(ignores) == 0 {
 		return diags
 	}

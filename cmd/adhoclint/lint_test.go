@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -64,8 +65,39 @@ func collectWants(p *Package) map[string][]string {
 func checkFixture(t *testing.T, name, importPath string, enabled map[string]bool) {
 	t.Helper()
 	p := loadFixture(t, name, importPath)
-	wants := collectWants(p)
-	for _, d := range LintPackage(p, enabled) {
+	matchWants(t, collectWants(p), LintPackage(p, enabled))
+}
+
+// loadFixtureProgram wraps one fixture package in a Program so the
+// whole-program rules can run over it (dependencies resolved through the
+// loader are visible to the rules but not reported on).
+func loadFixtureProgram(t *testing.T, name, importPath string) *Program {
+	t.Helper()
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	l := newLoader(modRoot, modPath)
+	got, err := l.load(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(got.pkg.TypeErrs) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, got.pkg.TypeErrs)
+	}
+	return newProgram(l, []*Package{got.pkg})
+}
+
+func checkProgramFixture(t *testing.T, name, importPath string, enabled map[string]bool) {
+	t.Helper()
+	prog := loadFixtureProgram(t, name, importPath)
+	matchWants(t, collectWants(prog.Pkgs[0]), LintProgram(prog, enabled))
+}
+
+// matchWants pairs each diagnostic with one want fragment on its line.
+func matchWants(t *testing.T, wants map[string][]string, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
 		frags := wants[key]
 		matched := -1
@@ -130,6 +162,58 @@ func TestCleanFixtureAllRules(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
+	}
+}
+
+func TestLockOrderRule(t *testing.T) {
+	checkProgramFixture(t, "lockorder", "adhocshare/fixture/lockorder", rules(ruleLockOrder, ruleLockBlocking))
+}
+
+// The lock-order cycle diagnostic must carry witness call chains for both
+// edges, including the transitive one through touchA.
+func TestLockOrderCycleWitness(t *testing.T) {
+	prog := loadFixtureProgram(t, "lockorder", "adhocshare/fixture/lockorder")
+	var cycle *Diagnostic
+	for _, d := range LintProgram(prog, rules(ruleLockOrder)) {
+		if strings.Contains(d.Msg, "lock-order cycle") {
+			d := d
+			cycle = &d
+		}
+	}
+	if cycle == nil {
+		t.Fatal("no lock-order cycle diagnostic reported")
+	}
+	for _, frag := range []string{
+		"lockorder.A.mu → lockorder.B.mu → lockorder.A.mu",
+		"(*A).Bump locks lockorder.B.mu while holding lockorder.A.mu",
+		"calls lockorder.(*B).touchA, which locks lockorder.A.mu",
+	} {
+		if !strings.Contains(cycle.Msg, frag) {
+			t.Errorf("cycle diagnostic missing %q:\n%s", frag, cycle.Msg)
+		}
+	}
+}
+
+func TestRPCProtocolRule(t *testing.T) {
+	checkProgramFixture(t, "rpcproto", "adhocshare/fixture/rpcproto", rules(ruleRPCProto))
+}
+
+func TestPayloadSizeRule(t *testing.T) {
+	checkProgramFixture(t, "payloadsize", "adhocshare/fixture/payloadsize", rules(rulePayloadSize))
+}
+
+// The -list output is pinned by a golden file so rule renames/additions
+// are deliberate.
+func TestListGolden(t *testing.T) {
+	var buf strings.Builder
+	printRules(&buf)
+	goldenPath := filepath.Join("testdata", "list.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("-list output differs from %s:\n got:\n%s\nwant:\n%s", goldenPath, buf.String(), want)
 	}
 }
 

@@ -21,9 +21,10 @@ type Package struct {
 	ImportPath string
 	Dir        string
 	Fset       *token.FileSet
-	Files      []*ast.File // non-test files, type-checked
-	TestFiles  []*ast.File // *_test.go files, syntactic rules only
-	Info       *types.Info // semantic info for Files (nil if checking failed)
+	Files      []*ast.File    // non-test files, type-checked
+	TestFiles  []*ast.File    // *_test.go files, syntactic rules only
+	Info       *types.Info    // semantic info for Files (nil if checking failed)
+	Types      *types.Package // the checked package (nil if checking failed)
 	TypeErrs   []error
 }
 
@@ -184,6 +185,17 @@ func (l *loader) load(dir, importPath string) (*loaded, error) {
 	if cerr == nil || typ != nil {
 		got.typ = typ
 		p.Info = info
+		p.Types = typ
 	}
 	return got, nil
+}
+
+// typesFor returns the checked types of a previously loaded import path
+// (nil when the package was never reached or failed to check). Whole-program
+// rules use it to reach reference packages such as internal/simnet.
+func (l *loader) typesFor(importPath string) *types.Package {
+	if got, ok := l.cache[importPath]; ok {
+		return got.typ
+	}
+	return nil
 }

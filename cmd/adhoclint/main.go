@@ -1,11 +1,21 @@
 // Command adhoclint is the project's static-analysis suite. It enforces
-// the concurrency and determinism conventions of the overlay/DQP core
-// (documented in DESIGN.md "Concurrency & determinism conventions"):
+// the concurrency, protocol and determinism conventions of the overlay/DQP
+// core (documented in DESIGN.md "Concurrency & determinism conventions"):
 //
 //	guarded-field      fields declared after a struct's `mu sync.Mutex`
 //	                   must only be touched while that mu is held
-//	lock-blocking      no channel operations or simnet fabric calls
-//	                   (Call/Send/Transfer) while a mutex is held
+//	lock-blocking      no channel operations, simnet fabric calls
+//	                   (Call/Send/Transfer), sleeps or waits while a mutex
+//	                   is held — directly or through any call chain
+//	lock-order         mutex acquisition order must be cycle-free across
+//	                   the whole program (cycles are potential deadlocks,
+//	                   reported with witness call chains); no re-acquiring
+//	                   a mutex the caller already holds
+//	rpc-protocol       Method* constants, HandleCall dispatch switches and
+//	                   Network.Call/Send/Transfer sites must agree on
+//	                   method strings and payload types
+//	payload-size       every SizeBytes method must account for every field
+//	                   of its receiver struct
 //	determinism        no wall-clock (time.Now, time.Sleep, ...) or global
 //	                   math/rand in internal/ non-test code
 //	goroutine-hygiene  `go func` literals must be tied to a WaitGroup,
@@ -17,10 +27,13 @@
 //	go run ./cmd/adhoclint ./...            # whole module
 //	go run ./cmd/adhoclint ./internal/dqp   # one package
 //	go run ./cmd/adhoclint -rules determinism,discarded-error ./...
+//	go run ./cmd/adhoclint -format sarif ./... > adhoclint.sarif
+//	go run ./cmd/adhoclint -list            # print the rules and exit
 //
-// Diagnostics print as "file:line: [rule] message"; the exit status is
-// non-zero when any diagnostic is reported. A finding can be suppressed
-// with a trailing or preceding comment:
+// Diagnostics print as "file:line: [rule] message" (or as SARIF 2.1.0 with
+// -format sarif); the exit status is non-zero when any diagnostic is
+// reported. A finding can be suppressed with a trailing or preceding
+// comment:
 //
 //	//adhoclint:ignore determinism test-support helper needs wall time
 //
@@ -31,6 +44,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,11 +52,21 @@ import (
 
 func main() {
 	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	formatFlag := flag.String("format", "text", "output format: text or sarif")
+	listFlag := flag.Bool("list", false, "print the rules with their descriptions and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: adhoclint [-rules r1,r2] [packages]\n\nrules: %s\n", strings.Join(ruleNames, ", "))
+		fmt.Fprintf(os.Stderr, "usage: adhoclint [-rules r1,r2] [-format text|sarif] [-list] [packages]\n\nrules: %s\n", strings.Join(ruleNames, ", "))
 	}
 	flag.Parse()
 
+	if *listFlag {
+		printRules(os.Stdout)
+		return
+	}
+	if *formatFlag != "text" && *formatFlag != "sarif" {
+		fmt.Fprintf(os.Stderr, "adhoclint: unknown format %q (have: text, sarif)\n", *formatFlag)
+		os.Exit(2)
+	}
 	enabled, err := parseRules(*rulesFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adhoclint:", err)
@@ -52,7 +76,7 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	n, err := run(args, enabled, os.Stdout)
+	n, err := run(args, enabled, *formatFlag, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adhoclint:", err)
 		os.Exit(2)
@@ -60,6 +84,14 @@ func main() {
 	if n > 0 {
 		fmt.Fprintf(os.Stderr, "adhoclint: %d diagnostic(s)\n", n)
 		os.Exit(1)
+	}
+}
+
+// printRules writes every rule with its one-line description — the -list
+// output, pinned by a golden test.
+func printRules(w io.Writer) {
+	for _, name := range ruleNames {
+		fmt.Fprintf(w, "%-18s %s\n", name, ruleDocs[name])
 	}
 }
 
@@ -78,9 +110,10 @@ func parseRules(csv string) (map[string]bool, error) {
 	return enabled, nil
 }
 
-// run lints the packages selected by the argument patterns and writes
-// diagnostics to w, returning how many were reported.
-func run(args []string, enabled map[string]bool, w *os.File) (int, error) {
+// run lints the packages selected by the argument patterns — each package
+// on its own, then all of them together for the whole-program rules — and
+// writes diagnostics to w, returning how many were reported.
+func run(args []string, enabled map[string]bool, format string, w io.Writer) (int, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return 0, err
@@ -117,7 +150,8 @@ func run(args []string, enabled map[string]bool, w *os.File) (int, error) {
 	}
 
 	l := newLoader(modRoot, modPath)
-	total := 0
+	var pkgs []*Package
+	var diags []Diagnostic
 	for _, dir := range dirs {
 		rel, rerr := filepath.Rel(modRoot, dir)
 		if rerr != nil || strings.HasPrefix(rel, "..") {
@@ -138,14 +172,27 @@ func run(args []string, enabled map[string]bool, w *os.File) (int, error) {
 		for _, terr := range pkg.TypeErrs {
 			fmt.Fprintf(os.Stderr, "adhoclint: type-check %s: %v\n", importPath, terr)
 		}
-		for _, d := range LintPackage(pkg, enabled) {
-			// print module-relative paths to keep output stable across checkouts
-			if rel, e := filepath.Rel(modRoot, d.Pos.Filename); e == nil {
-				d.Pos.Filename = rel
-			}
-			fmt.Fprintln(w, d.String())
-			total++
+		pkgs = append(pkgs, pkg)
+		diags = append(diags, LintPackage(pkg, enabled)...)
+	}
+	diags = append(diags, LintProgram(newProgram(l, pkgs), enabled)...)
+
+	// report module-relative paths to keep output stable across checkouts
+	for i := range diags {
+		if rel, e := filepath.Rel(modRoot, diags[i].Pos.Filename); e == nil {
+			diags[i].Pos.Filename = rel
 		}
 	}
-	return total, nil
+	sortDiagnostics(diags)
+
+	if format == "sarif" {
+		if err := writeSARIF(w, diags); err != nil {
+			return len(diags), err
+		}
+		return len(diags), nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+	return len(diags), nil
 }

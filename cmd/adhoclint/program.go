@@ -1,0 +1,99 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-program view the interprocedural rules (lock-order,
+// rpc-protocol, payload-size and the interprocedural half of lock-blocking)
+// analyze: every package selected on the command line, loaded and
+// type-checked against one shared FileSet. Packages that were pulled in
+// only as dependencies contribute type information (via the loader cache)
+// but are not themselves analyzed or reported on.
+type Program struct {
+	Pkgs    []*Package
+	loader  *loader
+	modPath string
+
+	graph *callGraph // built lazily by CallGraph
+}
+
+// newProgram assembles a program over the analyzed packages. The loader
+// must be the one that loaded them (its cache resolves cross-package
+// types).
+func newProgram(l *loader, pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs, loader: l, modPath: l.modPath}
+}
+
+// simnetTypes returns the checked internal/simnet package, or nil when the
+// analyzed program never imports it. The rpc-protocol rule anchors its
+// Payload/Network lookups here.
+func (prog *Program) simnetTypes() *types.Package {
+	return prog.loader.typesFor(prog.modPath + "/internal/simnet")
+}
+
+// loadedPackages returns every successfully checked module package the
+// loader has seen — the analyzed packages plus their module-internal
+// dependencies — sorted by import path. The rpc-protocol rule collects its
+// protocol facts (method constants, dispatch switches, fabric call sites)
+// over this wider set so that linting one package still sees the handlers
+// and constants declared elsewhere; diagnostics are only attached to
+// analyzed packages.
+func (prog *Program) loadedPackages() []*Package {
+	paths := make([]string, 0, len(prog.loader.cache))
+	for path, got := range prog.loader.cache {
+		if got.pkg != nil && got.pkg.Info != nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, prog.loader.cache[path].pkg)
+	}
+	return out
+}
+
+// analyzedSet indexes the packages diagnostics may be reported on.
+func (prog *Program) analyzedSet() map[*Package]bool {
+	set := make(map[*Package]bool, len(prog.Pkgs))
+	for _, p := range prog.Pkgs {
+		set[p] = true
+	}
+	return set
+}
+
+// CallGraph returns (building on first use) the static call graph over the
+// analyzed packages.
+func (prog *Program) CallGraph() *callGraph {
+	if prog.graph == nil {
+		prog.graph = buildCallGraph(prog)
+	}
+	return prog.graph
+}
+
+// eachFuncDecl visits every function declaration of the analyzed
+// production files together with its types object. Test files are skipped:
+// they are not type-checked, and the whole-program rules all need types.
+func (prog *Program) eachFuncDecl(visit func(p *Package, decl *ast.FuncDecl, obj *types.Func)) {
+	for _, p := range prog.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				visit(p, fn, obj)
+			}
+		}
+	}
+}

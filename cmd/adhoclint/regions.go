@@ -11,6 +11,8 @@ import (
 type muRegion struct {
 	owner      string
 	start, end token.Pos
+	expr       ast.Expr // the mutex expression of the opening Lock/RLock
+	write      bool     // opened by Lock (vs RLock)
 }
 
 func (r muRegion) contains(p token.Pos) bool { return r.start <= p && p <= r.end }
@@ -20,8 +22,10 @@ type muEvent struct {
 	pos      token.Pos
 	owner    string
 	lock     bool // Lock or RLock (vs Unlock or RUnlock)
+	write    bool // Lock or Unlock (vs RLock or RUnlock)
 	deferred bool
 	block    ast.Node // innermost enclosing block-like node
+	expr     ast.Expr // the mutex expression itself ("s.mu", "mu", ...)
 }
 
 // muOwner reports whether expr is a mutex named by the "mu" convention and
@@ -107,8 +111,10 @@ func muEvents(fn *ast.FuncDecl) []muEvent {
 			pos:      call.Pos(),
 			owner:    owner,
 			lock:     name == "Lock" || name == "RLock",
+			write:    name == "Lock" || name == "Unlock",
 			deferred: deferred,
 			block:    blk,
+			expr:     sel.X,
 		})
 		return true
 	})
@@ -153,7 +159,7 @@ func muRegions(fn *ast.FuncDecl) []muRegion {
 				end = fn.Body.End()
 			}
 		}
-		regions = append(regions, muRegion{owner: e.owner, start: e.pos, end: end})
+		regions = append(regions, muRegion{owner: e.owner, start: e.pos, end: end, expr: e.expr, write: e.write})
 	}
 	return regions
 }

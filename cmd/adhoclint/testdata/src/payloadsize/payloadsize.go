@@ -1,0 +1,49 @@
+// Package payloadsize exercises the SizeBytes completeness audit.
+package payloadsize
+
+// intw is the wire width of an int field.
+func intw(int) int { return 4 }
+
+// Good accounts for every field.
+type Good struct {
+	Name string
+	N    int
+}
+
+func (g Good) SizeBytes() int { return len(g.Name) + intw(g.N) }
+
+// Bad forgets two fields.
+type Bad struct {
+	Name string
+	N    int
+	Flag bool
+}
+
+func (b Bad) SizeBytes() int { return len(b.Name) } // want "does not account for fields N, Flag"
+
+// Excused declares why a field is uncounted.
+type Excused struct {
+	Name string
+	hits int
+}
+
+//adhoclint:ignore payload-size hits is local bookkeeping, never serialized
+func (e Excused) SizeBytes() int { return len(e.Name) }
+
+// Batch counts its items by ranging over them.
+type Batch struct {
+	Items []Good
+}
+
+func (b Batch) SizeBytes() int {
+	n := 4
+	for _, it := range b.Items {
+		n += it.SizeBytes()
+	}
+	return n
+}
+
+// Blob has a non-struct receiver: nothing to cross-check.
+type Blob []byte
+
+func (b Blob) SizeBytes() int { return len(b) }

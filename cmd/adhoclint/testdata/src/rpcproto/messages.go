@@ -1,0 +1,44 @@
+// Package rpcproto exercises the rpc-protocol cross-check.
+package rpcproto
+
+// Wire method names.
+const (
+	MethodGet = "rpc.get"
+	MethodPut = "rpc.put"
+	// MethodOrphan is invoked over Send but dispatched nowhere.
+	MethodOrphan = "rpc.orphan" // want "invoked via Call/Send but no HandleCall dispatches it"
+	// MethodShip is transfer-only: no handler required.
+	MethodShip     = "rpc.ship"
+	MethodPutAlias = "rpc.put" // want "duplicates wire string"
+)
+
+// GetReq asks for one value.
+type GetReq struct{ Key int }
+
+func (GetReq) SizeBytes() int { return 8 }
+
+// GetResp carries one value.
+type GetResp struct{ Val int }
+
+func (GetResp) SizeBytes() int { return 8 }
+
+// PutReq ships a batch of entries.
+type PutReq struct{ Entries []Entry }
+
+func (r PutReq) SizeBytes() int { return 16 * len(r.Entries) }
+
+// Entry is a component of PutReq: no SizeBytes of its own needed.
+type Entry struct{ K, V int }
+
+// ShipChunk is moved with Transfer.
+type ShipChunk struct{ N int }
+
+func (ShipChunk) SizeBytes() int { return 4 }
+
+// OrphanReq belongs to the orphaned method.
+type OrphanReq struct{ N int }
+
+func (OrphanReq) SizeBytes() int { return 4 }
+
+// Stray can never go on the wire.
+type Stray struct{ X int } // want "neither implements simnet.Payload"

@@ -14,6 +14,12 @@ const (
 	MethodSetSuccessor   = "chord.set_successor"
 )
 
+// SizeBytes returns the fixed 8-byte wire width of a ring identifier.
+func (ID) SizeBytes() int { return 8 }
+
+// hopWidth is the wire width of a hop counter.
+func hopWidth(int) int { return 4 }
+
 // Ref identifies a ring member: its identifier and network address.
 type Ref struct {
 	ID   ID
@@ -21,7 +27,7 @@ type Ref struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (r Ref) SizeBytes() int { return 8 + len(r.Addr) }
+func (r Ref) SizeBytes() int { return r.ID.SizeBytes() + len(r.Addr) }
 
 // IsZero reports whether the reference is unset.
 func (r Ref) IsZero() bool { return r.Addr == "" }
@@ -34,7 +40,7 @@ type FindReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (FindReq) SizeBytes() int { return 12 }
+func (r FindReq) SizeBytes() int { return r.Target.SizeBytes() + hopWidth(r.Hops) }
 
 // FindResp carries the found successor and the total hop count.
 type FindResp struct {
@@ -43,7 +49,7 @@ type FindResp struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (r FindResp) SizeBytes() int { return r.Node.SizeBytes() + 4 }
+func (r FindResp) SizeBytes() int { return r.Node.SizeBytes() + hopWidth(r.Hops) }
 
 // RefList carries a successor list.
 type RefList struct {

@@ -1,11 +1,74 @@
 package dqp
 
 import (
+	"bytes"
+	"encoding/gob"
 	"io"
 
+	"adhocshare/internal/chord"
+	"adhocshare/internal/overlay"
 	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/results"
 )
+
+// The wire codec uses gob with every concrete payload type registered up
+// front, so a payload can be encoded behind the simnet.Payload interface
+// and decoded back to its concrete type on the receiving side. Expression
+// implementations are registered too: MatchReq and chainPayload carry a
+// pushed-down FILTER as a sparql.Expression interface value.
+func init() {
+	gob.Register(simnet.Bytes(0))
+	gob.Register(chainPayload{})
+
+	gob.Register(overlay.PutReq{})
+	gob.Register(overlay.PutBatchReq{})
+	gob.Register(overlay.LookupReq{})
+	gob.Register(overlay.PostingsResp{})
+	gob.Register(overlay.TransferReq{})
+	gob.Register(overlay.TableRows{})
+	gob.Register(overlay.DropNodeReq{})
+	gob.Register(overlay.MatchReq{})
+	gob.Register(overlay.SolutionsResp{})
+	gob.Register(overlay.CountReq{})
+	gob.Register(overlay.CountResp{})
+	gob.Register(overlay.TriplesResp{})
+
+	gob.Register(chord.Ref{})
+	gob.Register(chord.FindReq{})
+	gob.Register(chord.FindResp{})
+	gob.Register(chord.RefList{})
+
+	gob.Register(&sparql.ExprVar{})
+	gob.Register(&sparql.ExprTerm{})
+	gob.Register(&sparql.ExprOr{})
+	gob.Register(&sparql.ExprAnd{})
+	gob.Register(&sparql.ExprNot{})
+	gob.Register(&sparql.ExprNeg{})
+	gob.Register(&sparql.ExprCmp{})
+	gob.Register(&sparql.ExprArith{})
+	gob.Register(&sparql.ExprCall{})
+}
+
+// EncodePayload serializes an RPC payload for the wire. The concrete type
+// travels with the data, so DecodePayload needs no out-of-band hint.
+func EncodePayload(p simnet.Payload) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(data []byte) (simnet.Payload, error) {
+	var p simnet.Payload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
 
 // WriteJSON serializes the result in the W3C SPARQL 1.1 Query Results JSON
 // format (boolean form for ASK results).

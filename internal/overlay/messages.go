@@ -25,6 +25,12 @@ const (
 	MethodDump     = "store.dump"
 )
 
+// intWidth is the wire width of an int field (frequency, count).
+func intWidth(int) int { return 4 }
+
+// boolWidth is the wire width of a boolean flag.
+func boolWidth(bool) int { return 1 }
+
 // PutReq installs (or retracts, with negative Freq) one posting.
 type PutReq struct {
 	Key  chord.ID
@@ -33,7 +39,7 @@ type PutReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (r PutReq) SizeBytes() int { return 8 + len(r.Node) + 4 }
+func (r PutReq) SizeBytes() int { return r.Key.SizeBytes() + len(r.Node) + intWidth(r.Freq) }
 
 // PutBatchReq installs several postings for one storage node in a single
 // message — publication batches all keys routed to the same index node.
@@ -51,8 +57,10 @@ type KeyFreq struct {
 	Freq int
 }
 
-// SizeBytes implements simnet.Payload.
-func (r PutBatchReq) SizeBytes() int { return len(r.Node) + 12*len(r.Entries) }
+// SizeBytes implements simnet.Payload. Each entry is one (ID, int) pair.
+func (r PutBatchReq) SizeBytes() int {
+	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute)
+}
 
 // LookupReq reads the location-table row for a key.
 type LookupReq struct {
@@ -60,7 +68,7 @@ type LookupReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (LookupReq) SizeBytes() int { return 8 }
+func (r LookupReq) SizeBytes() int { return r.Key.SizeBytes() }
 
 // PostingsResp carries a location-table row.
 type PostingsResp struct {
@@ -84,7 +92,7 @@ type TransferReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (TransferReq) SizeBytes() int { return 16 }
+func (r TransferReq) SizeBytes() int { return r.From.SizeBytes() + r.To.SizeBytes() }
 
 // TableRows carries location-table content (transfer, handover, replica
 // sync).
@@ -113,7 +121,7 @@ type DropNodeReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (r DropNodeReq) SizeBytes() int { return len(r.Node) }
+func (r DropNodeReq) SizeBytes() int { return len(r.Node) + boolWidth(r.Propagate) }
 
 // MatchReq asks a storage node to match a pattern conjunction against its
 // local repository, joined with the accumulated partial solutions (the
@@ -181,7 +189,7 @@ type CountResp struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (CountResp) SizeBytes() int { return 4 }
+func (r CountResp) SizeBytes() int { return intWidth(r.N) }
 
 // TriplesResp carries raw triples (used by DESCRIBE and by the RDFPeers
 // ingest comparison).

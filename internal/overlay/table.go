@@ -17,7 +17,7 @@ type Posting struct {
 }
 
 // SizeBytes implements simnet.Payload for postings shipped in responses.
-func (p Posting) SizeBytes() int { return len(p.Node) + 4 }
+func (p Posting) SizeBytes() int { return len(p.Node) + intWidth(p.Freq) }
 
 // LocationTable is the per-index-node key → postings map of Fig. 2 /
 // Table I. It is safe for concurrent use.

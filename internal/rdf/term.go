@@ -159,10 +159,13 @@ func (t Term) String() string {
 }
 
 // SizeBytes estimates the wire size of the term for the network cost model:
-// the lexical components plus a small fixed overhead per term.
+// the lexical components plus the kind tag.
 func (t Term) SizeBytes() int {
-	return 2 + len(t.Value) + len(t.Lang) + len(t.Datatype)
+	return kindWidth(t.Kind) + len(t.Value) + len(t.Lang) + len(t.Datatype)
 }
+
+// kindWidth is the fixed wire width of a term's kind tag.
+func kindWidth(Kind) int { return 2 }
 
 func escapeLiteral(s string) string {
 	if !strings.ContainsAny(s, "\"\\\n\r\t") {

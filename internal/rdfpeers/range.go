@@ -101,7 +101,7 @@ func (s *System) QueryRange(from simnet.Addr, p rdf.Term, lo, hi float64, at sim
 		prev = cur
 	}
 	// results travel back to the initiator
-	done, err := s.net.Transfer(prev, from, "rdfpeers.result", TriplesPayload{Triples: out}, now)
+	done, err := s.net.Transfer(prev, from, MethodResult, TriplesPayload{Triples: out}, now)
 	if err != nil {
 		return nil, visited, done, err
 	}
@@ -156,7 +156,12 @@ type RangeReq struct {
 }
 
 // SizeBytes implements simnet.Payload.
-func (r RangeReq) SizeBytes() int { return r.Predicate.SizeBytes() + 16 }
+func (r RangeReq) SizeBytes() int {
+	return r.Predicate.SizeBytes() + boundWidth(r.Lo) + boundWidth(r.Hi)
+}
+
+// boundWidth is the wire width of one float64 range bound.
+func boundWidth(float64) int { return 8 }
 
 // RangeResp carries matching triples.
 type RangeResp struct {

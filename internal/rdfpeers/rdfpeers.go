@@ -29,6 +29,9 @@ const (
 	MethodStore     = "rdfpeers.store"
 	MethodMatch     = "rdfpeers.match"
 	MethodIntersect = "rdfpeers.intersect"
+	// MethodResult labels the transfer shipping final results back to the
+	// query initiator; it is transfer-only and dispatched by no handler.
+	MethodResult = "rdfpeers.result"
 )
 
 // StoreReq ships one triple for storage at a ring node.
@@ -382,7 +385,7 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 		prev = owner
 	}
 	// ship the final candidates back to the initiator
-	done, err := s.net.Transfer(prev, from, "rdfpeers.result", TermsResp{Terms: candidates}, now)
+	done, err := s.net.Transfer(prev, from, MethodResult, TermsResp{Terms: candidates}, now)
 	if err != nil {
 		return nil, done, err
 	}
