@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments
+.PHONY: all build vet lint test race bench fuzz experiments
 
 all: build vet lint test
 
@@ -23,6 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Short coverage-guided fuzz pass over the text front ends; CI runs the
+# same targets as a smoke stage. Crashers land in testdata/fuzz/ and then
+# run as regression seeds under plain `make test`.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/sparql
+	$(GO) test -run '^$$' -fuzz FuzzReadTurtle -fuzztime $(FUZZTIME) ./internal/rdf
 
 # Regenerate the EXPERIMENTS.md table set (seed 0 = published tables).
 experiments:

@@ -7,6 +7,7 @@
 //	benchmark            # run everything
 //	benchmark -run E4    # run one experiment
 //	benchmark -list      # list experiments
+//	benchmark -json      # machine-readable output for plot/diff tooling
 package main
 
 import (
@@ -21,6 +22,7 @@ func main() {
 	run := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 0, "master seed XORed into every experiment stream (0 = the published tables)")
+	asJSON := flag.Bool("json", false, "emit one JSON document instead of plain-text tables")
 	flag.Parse()
 
 	if *list {
@@ -30,6 +32,22 @@ func main() {
 		return
 	}
 	p := experiments.Params{Seed: *seed}
+	if *asJSON {
+		var ids []string
+		if *run != "" {
+			ids = []string{*run}
+		}
+		tables, err := experiments.Collect(p, ids...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteJSON(os.Stdout, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *run != "" {
 		if err := experiments.RunOne(os.Stdout, *run, p); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)

@@ -5,13 +5,14 @@ import "adhocshare/internal/simnet"
 // RPC method names. The "chord." prefix lets experiments separate DHT
 // maintenance and routing traffic from query traffic in simnet metrics.
 const (
-	MethodFindSuccessor  = "chord.find_successor"
-	MethodGetPredecessor = "chord.get_predecessor"
+	MethodFindSuccessor      = "chord.find_successor"
+	MethodFindSuccessorBatch = "chord.find_successor_batch"
+	MethodGetPredecessor     = "chord.get_predecessor"
 	MethodGetSuccList    = "chord.get_successor_list"
-	MethodNotify         = "chord.notify"
-	MethodPing           = "chord.ping"
-	MethodSetPredecessor = "chord.set_predecessor"
-	MethodSetSuccessor   = "chord.set_successor"
+	MethodNotify             = "chord.notify"
+	MethodPing               = "chord.ping"
+	MethodSetPredecessor     = "chord.set_predecessor"
+	MethodSetSuccessor       = "chord.set_successor"
 )
 
 // SizeBytes returns the fixed 8-byte wire width of a ring identifier.
@@ -50,6 +51,40 @@ type FindResp struct {
 
 // SizeBytes implements simnet.Payload.
 func (r FindResp) SizeBytes() int { return r.Node.SizeBytes() + hopWidth(r.Hops) }
+
+// BatchFindReq asks for the successors of many targets in one request, so
+// a publication can resolve all of its keys while traversing each shared
+// route prefix once instead of once per key. Hops counts the forwarding
+// depth reached so far.
+type BatchFindReq struct {
+	Targets []ID
+	Hops    int
+}
+
+// SizeBytes implements simnet.Payload.
+func (r BatchFindReq) SizeBytes() int {
+	n := 4 + hopWidth(r.Hops)
+	for _, t := range r.Targets {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// BatchFindResp carries the found successors, Nodes[i] owning Targets[i]
+// of the request, and the deepest forwarding chain any target needed.
+type BatchFindResp struct {
+	Nodes []Ref
+	Hops  int
+}
+
+// SizeBytes implements simnet.Payload.
+func (r BatchFindResp) SizeBytes() int {
+	n := 4 + hopWidth(r.Hops)
+	for _, ref := range r.Nodes {
+		n += ref.SizeBytes()
+	}
+	return n
+}
 
 // RefList carries a successor list.
 type RefList struct {

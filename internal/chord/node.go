@@ -143,6 +143,16 @@ func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (s
 	switch method {
 	case MethodFindSuccessor:
 		return n.handleFindSuccessorPayload(at, req)
+	case MethodFindSuccessorBatch:
+		br, ok := req.(BatchFindReq)
+		if !ok {
+			return nil, at, fmt.Errorf("chord: find_successor_batch payload %T", req)
+		}
+		resp, done, err := n.handleFindSuccessorBatch(at, br)
+		if err != nil {
+			return nil, done, err
+		}
+		return resp, done, nil
 	case MethodGetPredecessor:
 		return n.Predecessor(), at, nil
 	case MethodGetSuccList:
@@ -218,6 +228,87 @@ func (n *Node) handleFindSuccessor(at simnet.VTime, req FindReq) (FindResp, simn
 		n.evict(next.Addr)
 	}
 	return FindResp{}, now, fmt.Errorf("%w: target %v from %v", ErrLookupFailed, req.Target, n.id)
+}
+
+// handleFindSuccessorBatch resolves many targets in one recursive routing
+// step: targets this node can answer directly are filled in locally, the
+// rest are grouped by their preferred next hop and each group is forwarded
+// as one sub-batch, all groups in parallel — so a shared route prefix is
+// traversed once per group instead of once per key, and the virtual
+// completion time is the critical path over the groups. A group whose next
+// hop is unreachable falls back to per-target routing, which retries along
+// farther fingers and the successor list.
+func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (BatchFindResp, simnet.VTime, error) {
+	nodes := make([]Ref, len(req.Targets))
+	hops := req.Hops
+	groups := map[simnet.Addr][]int{}
+	var order []simnet.Addr // group order follows first occurrence in the (caller-sorted) targets
+	for i, raw := range req.Targets {
+		target := raw.truncate(n.cfg.Bits)
+		succ := n.Successor()
+		if succ.Addr == n.addr || betweenRightIncl(target, n.id, succ.ID) {
+			nodes[i] = succ
+			continue
+		}
+		cands := n.routeCandidates(target)
+		if len(cands) == 0 {
+			return BatchFindResp{}, at, fmt.Errorf("%w: target %v from %v", ErrLookupFailed, target, n.id)
+		}
+		next := cands[0].Addr
+		if _, ok := groups[next]; !ok {
+			order = append(order, next)
+		}
+		groups[next] = append(groups[next], i)
+	}
+	if len(order) == 0 {
+		return BatchFindResp{Nodes: nodes, Hops: hops}, at, nil
+	}
+	results, done := simnet.Parallel(len(order), 0, func(g int) (BatchFindResp, simnet.VTime, error) {
+		next := order[g]
+		idxs := groups[next]
+		sub := make([]ID, len(idxs))
+		for j, i := range idxs {
+			sub[j] = req.Targets[i].truncate(n.cfg.Bits)
+		}
+		resp, gdone, err := n.net.Call(n.addr, next, MethodFindSuccessorBatch,
+			BatchFindReq{Targets: sub, Hops: req.Hops + 1}, at)
+		if err != nil {
+			return BatchFindResp{}, gdone, err
+		}
+		return resp.(BatchFindResp), gdone, nil
+	})
+	for g, r := range results {
+		idxs := groups[order[g]]
+		if r.Err != nil {
+			// The group's next hop is unreachable: evict it and resolve the
+			// group's targets one by one (serially, after the parallel join,
+			// so routing-table repair stays deterministic), starting from
+			// the failed branch's timeout.
+			n.evict(order[g])
+			now := r.Done
+			for _, i := range idxs {
+				fr, fdone, ferr := n.handleFindSuccessor(now,
+					FindReq{Target: req.Targets[i].truncate(n.cfg.Bits), Hops: req.Hops})
+				now = fdone
+				if ferr != nil {
+					return BatchFindResp{}, simnet.MaxTime(done, now), ferr
+				}
+				nodes[i] = fr.Node
+				if fr.Hops > hops {
+					hops = fr.Hops
+				}
+			}
+			done = simnet.MaxTime(done, now)
+			continue
+		}
+		for j, i := range idxs {
+			nodes[i] = r.Value.Nodes[j]
+		}
+		if r.Value.Hops > hops {
+			hops = r.Value.Hops
+		}
+	}
+	return BatchFindResp{Nodes: nodes, Hops: hops}, simnet.MaxTime(at, done), nil
 }
 
 // routeCandidates lists possible next hops for the target in preference

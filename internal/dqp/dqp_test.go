@@ -22,10 +22,18 @@ func fp(s string) rdf.Term { return rdf.NewIRI(foaf + s) }
 func np(s string) rdf.Term { return rdf.NewIRI(exns + s) }
 
 // buildSystem creates a deployment with nIndex index nodes and the given
-// per-storage-node triple sets.
+// per-storage-node triple sets, published through the default (parallel)
+// pipeline.
 func buildSystem(t testing.TB, nIndex int, data map[string][]rdf.Triple) (*overlay.System, simnet.VTime) {
 	t.Helper()
-	s := overlay.NewSystem(overlay.Config{Bits: 16, Replication: 2,
+	return buildSystemPublish(t, nIndex, data, false)
+}
+
+// buildSystemPublish is buildSystem with an explicit publication pipeline:
+// serialPublish selects the legacy serial path, false the parallel one.
+func buildSystemPublish(t testing.TB, nIndex int, data map[string][]rdf.Triple, serialPublish bool) (*overlay.System, simnet.VTime) {
+	t.Helper()
+	s := overlay.NewSystem(overlay.Config{Bits: 16, Replication: 2, SerialPublish: serialPublish,
 		Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}})
 	now := simnet.VTime(0)
 	for i := 0; i < nIndex; i++ {

@@ -329,57 +329,86 @@ func (p patternPlan) targetAddrs() []simnet.Addr {
 // planPatterns resolves every pattern of a BGP through the two-level
 // index: hash the bound attribute combination, route to the responsible
 // index node (level one), read the location-table row (level two). The
-// lookups run in parallel from the initiator; their cost is part of the
-// query cost.
+// lookups for the distinct keys run concurrently from the initiator —
+// patterns sharing a key (same bound attribute combination) share one
+// lookup — and complete at the max of the branch times; their cost is
+// part of the query cost.
 func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime) ([]patternPlan, simnet.VTime, error) {
 	plans := make([]patternPlan, len(patterns))
-	done := at
 	bits := e.sys.Config().Bits
+	keyOf := make([]chord.ID, len(patterns))
+	hasKey := make([]bool, len(patterns))
+	var lookups []chord.ID // distinct keys, in first-occurrence order
+	seen := map[chord.ID]bool{}
 	for i, pat := range patterns {
-		plan := patternPlan{pattern: pat}
+		plans[i] = patternPlan{pattern: pat}
 		key, _, ok := overlay.PatternKey(pat, bits)
 		if !ok {
 			// All-variable pattern: no index key exists; fall back to
 			// flooding every storage node (the unstructured lower layer).
-			plan.flood = true
+			plans[i].flood = true
 			for _, st := range e.sys.StorageNodes() {
-				plan.postings = append(plan.postings, overlay.Posting{Node: st.Addr(), Freq: st.Graph.Size()})
+				plans[i].postings = append(plans[i].postings, overlay.Posting{Node: st.Addr(), Freq: st.Graph.Size()})
 			}
-			plans[i] = plan
 			continue
 		}
-		plan.hasKey = true
-		plan.key = key
+		plans[i].hasKey = true
+		keyOf[i], hasKey[i] = key, true
+		if !seen[key] {
+			seen[key] = true
+			lookups = append(lookups, key)
+		}
+	}
+	// rowResult is one resolved location-table row; hops only counts ring
+	// forwarding actually performed (zero on an initiator-cache hit).
+	type rowResult struct {
+		index    simnet.Addr
+		postings []overlay.Posting
+		hops     int
+	}
+	results, done := simnet.Parallel(len(lookups), 0, func(li int) (rowResult, simnet.VTime, error) {
+		key := lookups[li]
 		if e.opts.CacheLookups {
 			if row, ok := e.cache.get(key); ok && e.sys.Net().Alive(row.index) {
-				plan.index = row.index
-				plan.postings = append([]overlay.Posting(nil), row.postings...)
-				plans[i] = plan
-				continue
+				return rowResult{index: row.index, postings: append([]overlay.Posting(nil), row.postings...)}, at, nil
 			}
 		}
 		owner, hops, lookupDone, err := e.sys.ResolveKey(ctx.initiator, key, at)
 		if err != nil {
-			return nil, lookupDone, err
+			return rowResult{}, lookupDone, err
 		}
-		ctx.hops += hops
 		resp, lookupDone, err := e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
 			overlay.LookupReq{Key: key}, lookupDone)
 		if err != nil {
-			return nil, lookupDone, err
+			return rowResult{}, lookupDone, err
 		}
-		plan.index = owner
-		plan.postings = resp.(overlay.PostingsResp).Postings
+		row := rowResult{index: owner, postings: resp.(overlay.PostingsResp).Postings, hops: hops}
 		if e.opts.CacheLookups {
 			e.cache.put(key, cachedRow{
 				index:    owner,
-				postings: append([]overlay.Posting(nil), plan.postings...),
+				postings: append([]overlay.Posting(nil), row.postings...),
 			})
 		}
-		plans[i] = plan
-		done = simnet.MaxTime(done, lookupDone)
+		return row, lookupDone, nil
+	})
+	rows := make(map[chord.ID]rowResult, len(lookups))
+	for li, r := range results {
+		if r.Err != nil {
+			return nil, simnet.MaxTime(at, done), r.Err
+		}
+		rows[lookups[li]] = r.Value
+		ctx.hops += r.Value.hops
 	}
-	return plans, done, nil
+	for i := range plans {
+		if !hasKey[i] {
+			continue
+		}
+		row := rows[keyOf[i]]
+		plans[i].key = keyOf[i]
+		plans[i].index = row.index
+		plans[i].postings = append([]overlay.Posting(nil), row.postings...)
+	}
+	return plans, simnet.MaxTime(at, done), nil
 }
 
 // execBGP evaluates a basic graph pattern distributedly. filter, when

@@ -38,6 +38,8 @@ func init() {
 	gob.Register(chord.Ref{})
 	gob.Register(chord.FindReq{})
 	gob.Register(chord.FindResp{})
+	gob.Register(chord.BatchFindReq{})
+	gob.Register(chord.BatchFindResp{})
 	gob.Register(chord.RefList{})
 
 	gob.Register(&sparql.ExprVar{})

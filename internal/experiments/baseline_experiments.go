@@ -153,18 +153,27 @@ SELECT ?s WHERE { ?s foaf:knows %s . ?s ns:knowsNothingAbout %s . }`, o1, o2)
 
 // conjObjects finds a pair (o1, o2) such that some subject both knows o1
 // and knowsNothingAbout o2, guaranteeing a nonempty conjunctive answer.
+// Graph iteration order is map order, so the full candidate set is scanned
+// and the smallest pair under rdf.Compare is chosen — taking the first
+// match would make the E10 query rows differ from run to run.
 func conjObjects(d *workload.Dataset) (rdf.Term, rdf.Term, error) {
 	g := d.UnionGraph()
 	knows := rdf.NewIRI(workload.FOAF + "knows")
 	kna := rdf.NewIRI(workload.NS + "knowsNothingAbout")
 	var o1, o2 rdf.Term
 	found := false
+	better := func(a1, a2 rdf.Term) bool {
+		if c := rdf.Compare(a1, o1); c != 0 {
+			return c < 0
+		}
+		return rdf.Compare(a2, o2) < 0
+	}
 	g.ForEachMatch(rdf.Triple{S: rdf.NewVar("s"), P: kna, O: rdf.NewVar("o")}, func(t rdf.Triple) bool {
-		ks := g.Match(rdf.Triple{S: t.S, P: knows, O: rdf.NewVar("o")})
-		if len(ks) > 0 {
-			o1, o2 = ks[0].O, t.O
-			found = true
-			return false
+		for _, k := range g.Match(rdf.Triple{S: t.S, P: knows, O: rdf.NewVar("o")}) {
+			if !found || better(k.O, t.O) {
+				o1, o2 = k.O, t.O
+				found = true
+			}
 		}
 		return true
 	})

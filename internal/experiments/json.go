@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTable is the machine-readable form of one experiment table. Field
+// order and lowercase keys are part of the output contract; downstream
+// tooling (plot scripts, regression diffing) keys on them.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+type jsonDoc struct {
+	Experiments []jsonTable `json:"experiments"`
+}
+
+// Collect runs the named experiments (all of them when ids is empty) and
+// returns the result tables in index order.
+func Collect(p Params, ids ...string) ([]*Table, error) {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []*Table
+	for _, e := range All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		t, err := e.Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		out = append(out, t)
+	}
+	if len(want) > 0 && len(out) != len(want) {
+		return nil, fmt.Errorf("experiments: unknown experiment in %v", ids)
+	}
+	return out, nil
+}
+
+// WriteJSON renders tables as one indented JSON document:
+//
+//	{"experiments": [{"id": ..., "caption": ..., "headers": [...],
+//	 "rows": [[...], ...], "notes": [...]}, ...]}
+//
+// The document ends with a trailing newline so it concatenates cleanly in
+// shell pipelines.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	doc := jsonDoc{Experiments: make([]jsonTable, 0, len(tables))}
+	for _, t := range tables {
+		doc.Experiments = append(doc.Experiments, jsonTable{
+			ID: t.ID, Caption: t.Caption, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONGoldenFormat pins the exact serialization of the -json
+// output: key names, key order, indentation and the trailing newline are a
+// contract with downstream plot/diff tooling, not an implementation detail.
+func TestWriteJSONGoldenFormat(t *testing.T) {
+	tables := []*Table{
+		{
+			ID:      "E2",
+			Caption: "two-level index construction",
+			Headers: []string{"triples", "msgs"},
+			Rows:    [][]string{{"100", "42"}, {"200", "84"}},
+			Notes:   []string{"one note"},
+		},
+		{
+			ID:      "E3",
+			Caption: "lookup hops",
+			Headers: []string{"nodes", "hops"},
+			Rows:    [][]string{{"16", "2.00"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "experiments": [
+    {
+      "id": "E2",
+      "caption": "two-level index construction",
+      "headers": [
+        "triples",
+        "msgs"
+      ],
+      "rows": [
+        [
+          "100",
+          "42"
+        ],
+        [
+          "200",
+          "84"
+        ]
+      ],
+      "notes": [
+        "one note"
+      ]
+    },
+    {
+      "id": "E3",
+      "caption": "lookup hops",
+      "headers": [
+        "nodes",
+        "hops"
+      ],
+      "rows": [
+        [
+          "16",
+          "2.00"
+        ]
+      ]
+    }
+  ]
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("WriteJSON output drifted from the golden format\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestWriteJSONRoundTrips checks the document parses back with the generic
+// JSON decoder and preserves the experiment count and IDs.
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tables := []*Table{{ID: "E1", Caption: "c", Headers: []string{"h"}, Rows: [][]string{{"v"}}}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiments []struct {
+			ID string `json:"id"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "E1" {
+		t.Errorf("round trip lost data: %+v", doc)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("document must end with a newline")
+	}
+}
+
+// TestCollectSelectsByID checks Collect's id filtering against the E3
+// experiment, which is cheap to run.
+func TestCollectSelectsByID(t *testing.T) {
+	tables, err := Collect(Params{}, "E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E3" {
+		t.Fatalf("Collect(E3) = %d tables, first ID %q", len(tables), tables[0].ID)
+	}
+	if _, err := Collect(Params{}, "E99"); err == nil {
+		t.Error("Collect with an unknown ID should fail")
+	}
+}

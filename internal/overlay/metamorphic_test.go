@@ -1,0 +1,226 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+)
+
+// metaVocab is a small closed vocabulary so random retractions hit
+// previously published triples often.
+func metaVocab() []rdf.Triple {
+	preds := []rdf.Term{
+		rdf.NewIRI("http://xmlns.com/foaf/0.1/knows"),
+		rdf.NewIRI("http://xmlns.com/foaf/0.1/likes"),
+		rdf.NewIRI("http://xmlns.com/foaf/0.1/name"),
+	}
+	var pool []rdf.Triple
+	for s := 0; s < 5; s++ {
+		for pi, p := range preds {
+			for o := 0; o < 2; o++ {
+				var obj rdf.Term
+				if pi == 2 {
+					obj = rdf.NewLiteral(fmt.Sprintf("Name%d-%d", s, o))
+				} else {
+					obj = rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", (s+o+1)%5))
+				}
+				pool = append(pool, rdf.Triple{
+					S: rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", s)), P: p, O: obj,
+				})
+			}
+		}
+	}
+	return pool
+}
+
+// metaOp is one randomly drawn index mutation.
+type metaOp struct {
+	kind     int // 0 publish, 1 publish into named graph, 2 retract, 3 republish
+	provider simnet.Addr
+	graph    string
+	triples  []rdf.Triple
+}
+
+func newMetaSystem(t *testing.T, serialPublish bool, providers []simnet.Addr) (*System, simnet.VTime) {
+	t.Helper()
+	s := NewSystem(Config{Bits: 16, Replication: 2, SerialPublish: serialPublish,
+		Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}})
+	now := simnet.VTime(0)
+	for i := 0; i < 3; i++ {
+		_, done, err := s.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%d", i)), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	now = s.Converge(now)
+	for _, p := range providers {
+		_, done, err := s.AddStorageNode(p, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	return s, now
+}
+
+func applyMetaOps(t *testing.T, s *System, ops []metaOp, at simnet.VTime) simnet.VTime {
+	t.Helper()
+	now := at
+	for _, op := range ops {
+		var done simnet.VTime
+		var err error
+		switch op.kind {
+		case 0:
+			done, err = s.Publish(op.provider, op.triples, now)
+		case 1:
+			done, err = s.PublishGraph(op.provider, op.graph, op.triples, now)
+		case 2:
+			done, err = s.Retract(op.provider, op.triples, now)
+		default:
+			done, err = s.Republish(op.provider, now)
+		}
+		if err != nil {
+			t.Fatalf("op %+v: %v", op, err)
+		}
+		now = done
+	}
+	return now
+}
+
+// indexState renders the aggregate index (every live index node's
+// location table, replicas included) canonically for comparison.
+func indexState(s *System) string {
+	var sb strings.Builder
+	for _, n := range s.IndexNodes() {
+		fmt.Fprintf(&sb, "node %s (%v)\n", n.Addr(), n.ID())
+		rows := n.Table.Snapshot()
+		keys := make([]string, 0, len(rows))
+		byKey := map[string][]Posting{}
+		for k, row := range rows {
+			ks := fmt.Sprintf("%020d", uint64(k))
+			keys = append(keys, ks)
+			sorted := append([]Posting(nil), row...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+			byKey[ks] = sorted
+		}
+		sort.Strings(keys)
+		for _, ks := range keys {
+			fmt.Fprintf(&sb, "  key %s -> %v\n", ks, byKey[ks])
+		}
+	}
+	return sb.String()
+}
+
+// assertFreqsPositive checks the location-table invariant that surviving
+// postings carry strictly positive frequencies (zero or negative postings
+// must have been removed).
+func assertFreqsPositive(t *testing.T, s *System, label string) {
+	t.Helper()
+	for _, n := range s.IndexNodes() {
+		for key, row := range n.Table.Snapshot() {
+			for _, p := range row {
+				if p.Freq <= 0 {
+					t.Errorf("%s: node %s key %v posting %s has freq %d, want > 0",
+						label, n.Addr(), key, p.Node, p.Freq)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicIndexRebuild drives random interleavings of Publish,
+// PublishGraph, Retract and Republish (testing/quick over seeded trials)
+// through the serial and the parallel publication pipelines, and checks
+// three metamorphic invariants: (1) both pipelines leave bit-identical
+// location tables; (2) the tables equal those of a from-scratch rebuild
+// that publishes only the providers' final graphs; (3) every surviving
+// posting frequency is positive — and the parallel pipeline never costs
+// more traffic than the serial one.
+func TestMetamorphicIndexRebuild(t *testing.T) {
+	pool := metaVocab()
+	providers := []simnet.Addr{"P0", "P1", "P2"}
+	graphs := []string{"urn:g1", "urn:g2"}
+
+	trial := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nOps := 8 + rng.Intn(12)
+		ops := make([]metaOp, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			op := metaOp{kind: rng.Intn(4), provider: providers[rng.Intn(len(providers))]}
+			switch op.kind {
+			case 1:
+				op.graph = graphs[rng.Intn(len(graphs))]
+				fallthrough
+			case 0:
+				n := 1 + rng.Intn(6)
+				for j := 0; j < n; j++ {
+					op.triples = append(op.triples, pool[rng.Intn(len(pool))])
+				}
+			case 2:
+				n := 1 + rng.Intn(4)
+				for j := 0; j < n; j++ {
+					op.triples = append(op.triples, pool[rng.Intn(len(pool))])
+				}
+			}
+			ops = append(ops, op)
+		}
+
+		serialSys, now := newMetaSystem(t, true, providers)
+		applyMetaOps(t, serialSys, ops, now)
+		parSys, now := newMetaSystem(t, false, providers)
+		applyMetaOps(t, parSys, ops, now)
+
+		serialState, parState := indexState(serialSys), indexState(parSys)
+		if serialState != parState {
+			t.Errorf("seed %d: serial and parallel pipelines diverged\nserial:\n%s\nparallel:\n%s",
+				seed, serialState, parState)
+			return false
+		}
+		assertFreqsPositive(t, serialSys, fmt.Sprintf("seed %d serial", seed))
+		assertFreqsPositive(t, parSys, fmt.Sprintf("seed %d parallel", seed))
+
+		serialTraffic := serialSys.Net().Metrics()
+		parTraffic := parSys.Net().Metrics()
+		if parTraffic.Messages > serialTraffic.Messages || parTraffic.Bytes > serialTraffic.Bytes {
+			t.Errorf("seed %d: parallel pipeline cost more traffic than serial: %d/%d msgs, %d/%d bytes",
+				seed, parTraffic.Messages, serialTraffic.Messages, parTraffic.Bytes, serialTraffic.Bytes)
+			return false
+		}
+
+		// From-scratch rebuild: publish only the final graphs.
+		rebuildSys, now := newMetaSystem(t, false, providers)
+		for _, st := range parSys.StorageNodes() {
+			done, err := rebuildSys.Publish(st.Addr(), st.Graph.Triples(), now)
+			if err != nil {
+				t.Fatalf("seed %d: rebuild publish: %v", seed, err)
+			}
+			now = done
+			for _, name := range st.GraphNames() {
+				done, err = rebuildSys.PublishGraph(st.Addr(), name, st.NamedGraph(name).Triples(), now)
+				if err != nil {
+					t.Fatalf("seed %d: rebuild publish graph: %v", seed, err)
+				}
+				now = done
+			}
+		}
+		if rebuildState := indexState(rebuildSys); rebuildState != parState {
+			t.Errorf("seed %d: interleaved ops diverged from from-scratch rebuild\nops:\n%s\nrebuild:\n%s",
+				seed, parState, rebuildState)
+			return false
+		}
+		return true
+	}
+
+	cfg := &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(trial, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

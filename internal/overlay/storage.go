@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"adhocshare/internal/chord"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/sparql"
@@ -32,6 +33,11 @@ type StorageNode struct {
 	mu    sync.Mutex
 	named map[string]*rdf.Graph // named graphs by IRI
 	views map[string]*rdf.Graph // memoized dataset merges, reset on writes
+	// ownerCache memoizes key → successor owner learned while publishing —
+	// the storage-side sibling of the dqp initiator cache (E14). Entries
+	// are valid only for ownerEpoch; see System.Epoch for the rule.
+	ownerCache map[chord.ID]simnet.Addr
+	ownerEpoch uint64
 }
 
 // NewStorageNode creates a storage node and registers it on the network.
@@ -78,6 +84,49 @@ func (s *StorageNode) GraphNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// CachedOwner returns the successor owner cached for the key, provided it
+// was learned in the given stabilization epoch; older entries are treated
+// as absent (ownership may have moved).
+func (s *StorageNode) CachedOwner(epoch uint64, key chord.ID) (simnet.Addr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ownerEpoch != epoch || s.ownerCache == nil {
+		return "", false
+	}
+	a, ok := s.ownerCache[key]
+	return a, ok
+}
+
+// RememberOwners records key → owner mappings learned in the given epoch,
+// discarding anything cached under an older epoch first.
+func (s *StorageNode) RememberOwners(epoch uint64, owners map[chord.ID]simnet.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ownerEpoch != epoch || s.ownerCache == nil {
+		s.ownerCache = make(map[chord.ID]simnet.Addr, len(owners))
+		s.ownerEpoch = epoch
+	}
+	for k, a := range owners {
+		s.ownerCache[k] = a
+	}
+}
+
+// OwnerCacheLen reports how many key → owner entries are cached (tests and
+// the E2 notes).
+func (s *StorageNode) OwnerCacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ownerCache)
+}
+
+// DropOwnerCache clears the successor-owner cache; the overlay calls it
+// when the node re-attaches to a different index node.
+func (s *StorageNode) DropOwnerCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ownerCache = nil
 }
 
 // InvalidateViews drops memoized dataset merges; the overlay calls it

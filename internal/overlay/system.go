@@ -19,6 +19,12 @@ type Config struct {
 	// Replication is the number of copies of each location-table posting
 	// (default 2: primary plus one successor replica).
 	Replication int
+	// SerialPublish selects the legacy publication pipeline: per-key
+	// FindSuccessor resolution and one PutBatch shipment at a time. The
+	// default (false) resolves all keys with one batched FindSuccessor and
+	// ships the per-owner batches in parallel; the serial path is retained
+	// as the differential baseline for tests and the E2 comparison.
+	SerialPublish bool
 	// Net is the simulated network cost model.
 	Net simnet.Config
 }
@@ -47,6 +53,10 @@ type System struct {
 	mu      sync.RWMutex
 	index   map[simnet.Addr]*IndexNode
 	storage map[simnet.Addr]*StorageNode
+	// epoch is the stabilization epoch: it advances whenever ring
+	// maintenance or membership changes may have moved key ownership, and
+	// bounds the validity of the storage nodes' successor-owner caches.
+	epoch uint64
 }
 
 // NewSystem creates an empty deployment.
@@ -260,6 +270,9 @@ func (s *System) reattachIfNeeded(node *StorageNode) error {
 		return fmt.Errorf("overlay: no live index node to re-attach %s", node.addr)
 	}
 	node.attached = next
+	// A new attachment point means routing starts from a different ring
+	// position; cached owners may reflect the dead node's view.
+	node.DropOwnerCache()
 	return nil
 }
 
@@ -276,7 +289,16 @@ func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, a
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if s.cfg.SerialPublish {
+		return s.installPostingsSerial(node, keys, freq, absolute, at)
+	}
+	return s.installPostingsParallel(node, keys, freq, absolute, at)
+}
 
+// installPostingsSerial is the legacy pipeline: keys resolved one blocking
+// FindSuccessor at a time, then one PutBatch per owner, each waiting for
+// the previous — the ingest critical path grows linearly with key count.
+func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
 	batches := map[simnet.Addr][]KeyFreq{}
 	now := at
 	for _, key := range keys {
@@ -289,11 +311,7 @@ func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, a
 		owner := resp.(chord.FindResp).Node.Addr
 		batches[owner] = append(batches[owner], KeyFreq{Key: key, Freq: freq[key]})
 	}
-	owners := make([]simnet.Addr, 0, len(batches))
-	for a := range batches {
-		owners = append(owners, a)
-	}
-	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	owners := sortedOwners(batches)
 	for _, owner := range owners {
 		_, done, err := s.net.Call(node.addr, owner, MethodPutBatch,
 			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute}, now)
@@ -303,6 +321,78 @@ func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, a
 		}
 	}
 	return now, nil
+}
+
+// installPostingsParallel is the concurrent pipeline: owners for all keys
+// not already in the storage node's successor-owner cache are resolved by
+// one batched FindSuccessor (the ring fans the batch out along shared
+// route prefixes), then every per-owner PutBatch ships in parallel. The
+// virtual completion time is the critical path — resolution, then the max
+// over the owner shipments — per the DESIGN §5 rule; batches whose keys
+// were all cache hits ship immediately at `at`.
+func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
+	epoch := s.Epoch()
+	owners := make(map[chord.ID]simnet.Addr, len(keys))
+	viaRing := make(map[chord.ID]bool, len(keys))
+	var unresolved []chord.ID
+	for _, key := range keys {
+		if a, ok := node.CachedOwner(epoch, key); ok && s.net.Alive(a) {
+			owners[key] = a
+			continue
+		}
+		unresolved = append(unresolved, key)
+	}
+	resolveDone := at
+	if len(unresolved) > 0 {
+		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessorBatch,
+			chord.BatchFindReq{Targets: unresolved}, at)
+		if err != nil {
+			return done, fmt.Errorf("overlay: resolve %d keys: %w", len(unresolved), err)
+		}
+		learned := make(map[chord.ID]simnet.Addr, len(unresolved))
+		for i, key := range unresolved {
+			owner := resp.(chord.BatchFindResp).Nodes[i].Addr
+			owners[key] = owner
+			viaRing[key] = true
+			learned[key] = owner
+		}
+		node.RememberOwners(epoch, learned)
+		resolveDone = done
+	}
+	batches := map[simnet.Addr][]KeyFreq{}
+	starts := map[simnet.Addr]simnet.VTime{}
+	for _, key := range keys {
+		owner := owners[key]
+		batches[owner] = append(batches[owner], KeyFreq{Key: key, Freq: freq[key]})
+		if _, ok := starts[owner]; !ok {
+			starts[owner] = at
+		}
+		if viaRing[key] {
+			starts[owner] = resolveDone
+		}
+	}
+	ownerList := sortedOwners(batches)
+	results, done := simnet.Parallel(len(ownerList), 0, func(i int) (simnet.Payload, simnet.VTime, error) {
+		owner := ownerList[i]
+		return s.net.Call(node.addr, owner, MethodPutBatch,
+			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute}, starts[owner])
+	})
+	done = simnet.MaxTime(at, resolveDone, done)
+	for i, r := range results {
+		if r.Err != nil {
+			return done, fmt.Errorf("overlay: install postings at %s: %w", ownerList[i], r.Err)
+		}
+	}
+	return done, nil
+}
+
+func sortedOwners(batches map[simnet.Addr][]KeyFreq) []simnet.Addr {
+	owners := make([]simnet.Addr, 0, len(batches))
+	for a := range batches {
+		owners = append(owners, a)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	return owners
 }
 
 // ResolveKey routes a key to its responsible index node starting from any
@@ -345,6 +435,7 @@ func (s *System) entryFor(from simnet.Addr) simnet.Addr {
 		for _, a := range addrs {
 			if s.net.Alive(a) {
 				st.attached = a
+				st.DropOwnerCache()
 				return a
 			}
 		}
@@ -414,16 +505,36 @@ func (s *System) Index(addr simnet.Addr) (*IndexNode, bool) {
 	return n, ok
 }
 
+// Epoch returns the current stabilization epoch. Successor-owner cache
+// entries are valid only within the epoch they were learned in: any
+// maintenance or membership event that can move key ownership bumps the
+// epoch (DESIGN §5).
+func (s *System) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+func (s *System) bumpEpoch() {
+	s.mu.Lock()
+	s.epoch++
+	s.mu.Unlock()
+}
+
 // Converge runs Chord stabilization on the index ring until pointers are
 // consistent and finger tables are fresh.
 func (s *System) Converge(at simnet.VTime) simnet.VTime {
-	return chord.Converge(s.chordNodes(), at)
+	done := chord.Converge(s.chordNodes(), at)
+	s.bumpEpoch()
+	return done
 }
 
 // StabilizeRound runs one periodic maintenance round on all live index
 // nodes.
 func (s *System) StabilizeRound(at simnet.VTime) simnet.VTime {
-	return chord.StabilizeRound(s.chordNodes(), at)
+	done := chord.StabilizeRound(s.chordNodes(), at)
+	s.bumpEpoch()
+	return done
 }
 
 func (s *System) chordNodes() []*chord.Node {
@@ -441,11 +552,20 @@ func (s *System) chordNodes() []*chord.Node {
 	return out
 }
 
-// FailNode crashes a node (index or storage) without warning.
-func (s *System) FailNode(addr simnet.Addr) { s.net.Fail(addr) }
+// FailNode crashes a node (index or storage) without warning. Ownership of
+// the failed node's keys moves de facto (routing evicts it), so the
+// stabilization epoch advances and owner caches re-resolve.
+func (s *System) FailNode(addr simnet.Addr) {
+	s.net.Fail(addr)
+	s.bumpEpoch()
+}
 
-// RecoverNode brings a crashed node back.
-func (s *System) RecoverNode(addr simnet.Addr) { s.net.Recover(addr) }
+// RecoverNode brings a crashed node back (and, because the node reclaims
+// its key range, advances the stabilization epoch).
+func (s *System) RecoverNode(addr simnet.Addr) {
+	s.net.Recover(addr)
+	s.bumpEpoch()
+}
 
 // RemoveIndexGraceful performs a clean index-node departure: location
 // table handed to the successor, ring pointers rewired, node deregistered
@@ -470,19 +590,30 @@ func (s *System) RemoveIndexGraceful(addr simnet.Addr, at simnet.VTime) (simnet.
 // DropStorageEverywhere removes a failed storage node's postings from all
 // live index nodes — the global form of the timeout cleanup, used by tests
 // and by churn experiments; during queries the cleanup happens lazily at
-// the index node that observes the timeout.
+// the index node that observes the timeout. The drop notifications are
+// broadcast from a live ring member to every live index node in parallel
+// (the same fan-out machinery as publication), so the cleanup completes at
+// the slowest branch, not the sum.
 func (s *System) DropStorageEverywhere(addr simnet.Addr, at simnet.VTime) simnet.VTime {
-	now := at
-	for _, n := range s.IndexNodes() {
-		if !s.net.Alive(n.Addr()) {
-			continue
-		}
-		n.Table.DropNode(addr)
+	origin := s.anyIndexAddr()
+	if origin == "" {
+		return at
 	}
+	var targets []simnet.Addr
+	for _, n := range s.IndexNodes() {
+		if s.net.Alive(n.Addr()) {
+			targets = append(targets, n.Addr())
+		}
+	}
+	// Best-effort: an index node that became unreachable cleans up lazily.
+	_, done := simnet.Parallel(len(targets), 0, func(i int) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(origin, targets[i], MethodDropNode,
+			DropNodeReq{Node: addr}, at)
+	})
 	s.mu.Lock()
 	delete(s.storage, addr)
 	s.mu.Unlock()
-	return now
+	return simnet.MaxTime(at, done)
 }
 
 // TotalTriples sums the sizes of all storage-node graphs.

@@ -251,7 +251,11 @@ func (l *lexer) next() (token, error) {
 	if c >= '0' && c <= '9' {
 		return l.lexNumber(mk)
 	}
-	if isPNCharsBase(rune(c)) || c == ':' || c == '_' {
+	// Decode a full rune: a raw byte like 0xe6 casts to a letter rune but is
+	// not valid UTF-8 on its own, and must not reach lexWord, which would
+	// consume nothing and loop the parser forever.
+	r, _ := utf8.DecodeRuneInString(l.in[l.pos:])
+	if isPNCharsBase(r) || c == ':' || c == '_' {
 		return l.lexWord(mk)
 	}
 	return token{}, l.errf("unexpected character %q", c)
@@ -432,6 +436,11 @@ func (l *lexer) lexWord(mk func(tokenKind, string) token) (token, error) {
 		for i := 0; i < sz; i++ {
 			l.advance()
 		}
+	}
+	if sb.Len() == 0 {
+		// Never emit an empty token: consuming no input here would make the
+		// parser spin on the same position.
+		return token{}, l.errf("unexpected character %q", l.in[l.pos])
 	}
 	if hasColon {
 		return mk(tokPName, sb.String()), nil

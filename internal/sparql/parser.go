@@ -350,6 +350,14 @@ func (p *parser) parseGroupGraphPattern() (GraphPattern, error) {
 			if len(bgp) == 0 {
 				return nil, p.errf("expected graph pattern, found %q", p.cur().text)
 			}
+			// Adjacent triples blocks in one group form a single BGP; merging
+			// them also makes the canonical serialization a fixed point.
+			if n := len(group.Elems); n > 0 {
+				if last, ok := group.Elems[n-1].(*BGP); ok {
+					last.Patterns = append(last.Patterns, bgp...)
+					continue
+				}
+			}
 			group.Elems = append(group.Elems, &BGP{Patterns: bgp})
 		}
 	}

@@ -8,13 +8,12 @@ import (
 )
 
 // String renders the query back to parseable SPARQL text with all IRIs in
-// full (no PREFIX declarations). Parse(q.String()) yields an equivalent
-// query; this is what lets sub-queries ship between nodes as plain text.
+// full (no PREFIX or BASE declarations — every IRI in the AST is already
+// resolved, and re-emitting BASE would resolve them a second time on
+// reparse). Parse(q.String()) yields an equivalent query; this is what lets
+// sub-queries ship between nodes as plain text.
 func (q *Query) String() string {
 	var sb strings.Builder
-	if q.Base != "" {
-		fmt.Fprintf(&sb, "BASE <%s>\n", q.Base)
-	}
 	switch q.Form {
 	case FormSelect:
 		sb.WriteString("SELECT ")
