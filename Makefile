@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz experiments
+.PHONY: all build vet lint lint-fast test race bench fuzz experiments
 
 all: build vet lint test
 
@@ -14,6 +14,13 @@ vet:
 # conventions (see DESIGN.md "Concurrency & determinism conventions").
 lint:
 	$(GO) run ./cmd/adhoclint ./...
+
+# Per-package rules only: skips the whole-program analyses (lock-order,
+# lock-blocking's interprocedural half, rpc-protocol, payload-size,
+# wireiso, vtime), which load the full module. Quick pre-commit check;
+# CI and `make lint` always run everything.
+lint-fast:
+	$(GO) run ./cmd/adhoclint -rules guarded-field,determinism,goroutine-hygiene,discarded-error ./...
 
 test:
 	$(GO) test ./...

@@ -22,7 +22,7 @@ func (d Diagnostic) String() string {
 // ruleNames lists every rule in reporting order.
 var ruleNames = []string{
 	ruleGuarded, ruleLockBlocking, ruleLockOrder, ruleRPCProto, rulePayloadSize,
-	ruleDeterminism, ruleGoroutine, ruleDiscardedError,
+	ruleDeterminism, ruleGoroutine, ruleDiscardedError, ruleWireIso, ruleVTime,
 }
 
 const (
@@ -34,6 +34,8 @@ const (
 	ruleDeterminism    = "determinism"
 	ruleGoroutine      = "goroutine-hygiene"
 	ruleDiscardedError = "discarded-error"
+	ruleWireIso        = "wireiso"
+	ruleVTime          = "vtime"
 )
 
 // ruleDocs gives each rule its one-line description, shown by -list and
@@ -47,6 +49,8 @@ var ruleDocs = map[string]string{
 	ruleDeterminism:    "no wall-clock (time.Now, time.Sleep, ...) or global math/rand in internal/ non-test code",
 	ruleGoroutine:      "`go func` literals must be tied to a WaitGroup, done-channel or context",
 	ruleDiscardedError: "no `_ =` discards of error values outside tests",
+	ruleWireIso:        "RPC payloads must own their memory: values sent over simnet (Call/Send/Transfer requests, handler responses) must be fresh, deep-copied, wire-derived or documented //adhoclint:wireimmutable",
+	ruleVTime:          "concurrency in internal/ must flow through the simnet timing model: no goroutine fan-out over fabric calls outside simnet.Parallel, no fabricated or dropped VTime in handlers, no order-dependent Parallel bodies",
 }
 
 // LintPackage runs every enabled rule over one package and returns the
@@ -75,14 +79,16 @@ func LintPackage(p *Package, enabled map[string]bool) []Diagnostic {
 }
 
 // LintProgram runs the whole-program rules (lock-order, the
-// interprocedural half of lock-blocking, rpc-protocol, payload-size) over
-// the analyzed packages together, with ignore directives from every
-// analyzed package applied.
+// interprocedural half of lock-blocking, rpc-protocol, payload-size,
+// wireiso, vtime) over the analyzed packages together, with ignore
+// directives from every analyzed package applied.
 func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	diags = append(diags, checkProgramLocks(prog, enabled)...)
 	diags = append(diags, checkRPCProtocol(prog, enabled)...)
 	diags = append(diags, checkPayloadSizes(prog, enabled)...)
+	diags = append(diags, checkWireIsolation(prog, enabled)...)
+	diags = append(diags, checkVTime(prog, enabled)...)
 	ignores := map[ignoreKey][]string{}
 	for _, p := range prog.Pkgs {
 		collectIgnores(p, ignores)
@@ -139,15 +145,7 @@ func collectIgnores(p *Package, ignores map[ignoreKey][]string) {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				rules := []string{} // empty = all rules
-				if fields := strings.Fields(rest); len(fields) > 0 {
-					for _, r := range strings.Split(fields[0], ",") {
-						if isRuleName(r) {
-							rules = append(rules, r)
-						}
-					}
-				}
-				ignores[ignoreKey{pos.Filename, pos.Line}] = rules
+				ignores[ignoreKey{pos.Filename, pos.Line}] = parseIgnoreRules(rest)
 			}
 		}
 	}
@@ -181,6 +179,58 @@ func ignoreMatches(ignores map[ignoreKey][]string, d Diagnostic, off int) bool {
 		}
 	}
 	return false
+}
+
+// parseIgnoreRules parses the rule list of an ignore directive: a
+// comma-separated sequence of rule names, each optionally followed by a
+// parenthesized reason — "wireiso(rows copied by caller), vtime". Free
+// text that is not a rule name ends the list; a directive whose list
+// comes out empty suppresses every rule on its line.
+func parseIgnoreRules(rest string) []string {
+	rules := []string{}
+	i := 0
+	for {
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(rest) && isIgnoreIdentChar(rest[i]) {
+			i++
+		}
+		name := rest[start:i]
+		if !isRuleName(name) {
+			break
+		}
+		rules = append(rules, name)
+		if i < len(rest) && rest[i] == '(' {
+			depth := 0
+			for ; i < len(rest); i++ {
+				if rest[i] == '(' {
+					depth++
+				}
+				if rest[i] == ')' {
+					depth--
+					if depth == 0 {
+						i++
+						break
+					}
+				}
+			}
+		}
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == '\t') {
+			i++
+		}
+		if i >= len(rest) || rest[i] != ',' {
+			break
+		}
+		i++
+	}
+	return rules
+}
+
+func isIgnoreIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_'
 }
 
 func isRuleName(s string) bool {

@@ -202,6 +202,79 @@ func TestPayloadSizeRule(t *testing.T) {
 	checkProgramFixture(t, "payloadsize", "adhocshare/fixture/payloadsize", rules(rulePayloadSize))
 }
 
+func TestWireIsoRule(t *testing.T) {
+	checkProgramFixture(t, "wireiso", "adhocshare/fixture/wireiso", rules(ruleWireIso))
+}
+
+// Wire-isolation diagnostics must carry a witness flow chain naming the
+// payload field, the aliased owner, and — for interprocedural findings —
+// the helper the argument flows through.
+func TestWireIsoWitnessChain(t *testing.T) {
+	prog := loadFixtureProgram(t, "wireiso", "adhocshare/fixture/wireiso")
+	diags := LintProgram(prog, rules(ruleWireIso))
+	var alias, oblig *Diagnostic
+	for _, d := range diags {
+		d := d
+		switch {
+		case strings.Contains(d.Msg, "response of"):
+			alias = &d
+		case strings.Contains(d.Msg, "flows to the wire"):
+			oblig = &d
+		}
+	}
+	if alias == nil {
+		t.Fatal("no aliased-response diagnostic reported")
+	}
+	for _, frag := range []string{
+		"response of wireiso.(*Node).HandleCall",
+		"wireiso.RowsResp.Rows",
+		"n.rows aliases mutable state of *wireiso.Node (field rows)",
+	} {
+		if !strings.Contains(alias.Msg, frag) {
+			t.Errorf("aliased-response diagnostic missing %q:\n%s", frag, alias.Msg)
+		}
+	}
+	if oblig == nil {
+		t.Fatal("no caller-obligation diagnostic reported")
+	}
+	for _, frag := range []string{"n.rows", "wireiso.(*Node).ship"} {
+		if !strings.Contains(oblig.Msg, frag) {
+			t.Errorf("obligation diagnostic missing %q:\n%s", frag, oblig.Msg)
+		}
+	}
+}
+
+// The vtime fixture must sit under internal/: the rule only covers the
+// simulated node implementations.
+func TestVTimeRule(t *testing.T) {
+	checkProgramFixture(t, "vtime", "adhocshare/internal/fixture/vtime", rules(ruleVTime))
+}
+
+// The vtime rule loaded under a non-internal path must be silent.
+func TestVTimeRuleSkipsNonInternal(t *testing.T) {
+	prog := loadFixtureProgram(t, "vtime", "adhocshare/fixture/vtime")
+	if diags := LintProgram(prog, rules(ruleVTime)); len(diags) != 0 {
+		t.Errorf("non-internal package should be exempt, got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// Both v3 whole-program rules must be clean on the production tree: every
+// payload that aliased node state is now deep-copied or documented
+// immutable, and all fabric fan-out flows through simnet.Parallel.
+func TestWireRulesCleanOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module load in -short mode")
+	}
+	var buf strings.Builder
+	n, err := run([]string{"./..."}, rules(ruleWireIso, ruleVTime), "", &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("expected zero wireiso/vtime findings on the real tree, got %d:\n%s", n, buf.String())
+	}
+}
+
 // The -list output is pinned by a golden file so rule renames/additions
 // are deliberate.
 func TestListGolden(t *testing.T) {

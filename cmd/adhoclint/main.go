@@ -21,6 +21,15 @@
 //	goroutine-hygiene  `go func` literals must be tied to a WaitGroup,
 //	                   done-channel or context
 //	discarded-error    no `_ =` discards of error values outside tests
+//	wireiso            RPC payloads must own their memory: every value
+//	                   sent over the fabric must be fresh, deep-copied,
+//	                   wire-derived or //adhoclint:wireimmutable — never
+//	                   an alias of mutable node state
+//	vtime              concurrency in internal/ must flow through the
+//	                   simnet timing model: no goroutine fan-out over
+//	                   fabric calls outside simnet.Parallel, no dropped
+//	                   or fabricated VTime, no completion-order-dependent
+//	                   Parallel bodies
 //
 // Usage:
 //

@@ -1,0 +1,451 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The vtime-accounting analysis (rule "vtime") guards the simulation's
+// critical-path timing model. Virtual time only stays meaningful if every
+// fabric interaction threads the charged VTime:
+//
+//   - fan-out must go through simnet.Parallel, which accounts branch time
+//     as the max over branches: a raw `go` statement (with or without a
+//     WaitGroup) that transitively reaches a fabric call runs off the
+//     books;
+//   - handler-shaped functions (payload, VTime, error) must derive the
+//     VTime they return from the charged time they received — the `at`
+//     parameter or the done-values of their own fabric calls — not
+//     fabricate a constant;
+//   - the VTime result of a fabric call must not be discarded (assigned
+//     to `_` or dropped with the whole result);
+//   - simnet.Parallel branch bodies must not write captured state except
+//     through elements indexed by the branch parameter: any other shared
+//     write makes the result depend on completion order, which the
+//     deterministic scheduler does not define.
+//
+// The rule applies to internal/ packages except internal/simnet itself
+// (whose Parallel implementation is the one sanctioned use of raw
+// goroutines). Suppress a finding with //adhoclint:ignore vtime(reason).
+
+// checkVTime runs the vtime rule over the program.
+func checkVTime(prog *Program, enabled map[string]bool) []Diagnostic {
+	if enabled != nil && !enabled[ruleVTime] {
+		return nil
+	}
+	v := &vtimeChecker{
+		prog:       prog,
+		simnetPath: prog.modPath + "/internal/simnet",
+		analyzed:   prog.analyzedSet(),
+		touches:    map[*types.Func]bool{},
+		decls:      map[*types.Func]*wireDecl{},
+	}
+	v.collectDecls()
+	v.computeTouches()
+	for _, p := range prog.Pkgs {
+		if p.Info == nil || !v.inScope(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				v.checkGoFanout(p, fn)
+				v.checkHandlerVTime(p, fn)
+				v.checkDroppedVTime(p, fn)
+				v.checkParallelBodies(p, fn)
+			}
+		}
+	}
+	sortDiagnostics(v.diags)
+	return v.diags
+}
+
+type vtimeChecker struct {
+	prog       *Program
+	simnetPath string
+	analyzed   map[*Package]bool
+	decls      map[*types.Func]*wireDecl
+	touches    map[*types.Func]bool // transitively performs a fabric call
+	diags      []Diagnostic
+}
+
+// inScope limits the rule to internal/ packages outside internal/simnet.
+func (v *vtimeChecker) inScope(p *Package) bool {
+	return internalPackage(p) && p.ImportPath != v.simnetPath
+}
+
+func (v *vtimeChecker) collectDecls() {
+	for _, p := range v.prog.loadedPackages() {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					v.decls[obj] = &wireDecl{pkg: p, decl: fn}
+				}
+			}
+		}
+	}
+}
+
+// computeTouches closes "performs a fabric call" over static calls.
+func (v *vtimeChecker) computeTouches() {
+	for obj, d := range v.decls {
+		direct := false
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fabricCallAt(d.pkg, call, v.simnetPath) != nil {
+					direct = true
+				}
+			}
+			return true
+		})
+		v.touches[obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, d := range v.decls {
+			if v.touches[obj] {
+				continue
+			}
+			reached := false
+			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+				if reached {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil && v.touches[callee] {
+						reached = true
+					}
+				}
+				return true
+			})
+			if reached {
+				v.touches[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// nodeTouchesFabric reports whether the subtree contains a fabric call,
+// directly or through a statically resolved callee.
+func (v *vtimeChecker) nodeTouchesFabric(p *Package, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fabricCallAt(p, call, v.simnetPath) != nil {
+			found = true
+			return false
+		}
+		if callee, _ := staticCallee(p.Info, call); callee != nil && v.touches[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkGoFanout flags `go` statements that transitively reach fabric
+// calls: their branch time never joins the caller's critical path.
+func (v *vtimeChecker) checkGoFanout(p *Package, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		bad := false
+		switch fun := unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			bad = v.nodeTouchesFabric(p, fun.Body)
+		default:
+			if callee, _ := staticCallee(p.Info, g.Call); callee != nil {
+				bad = v.touches[callee]
+			}
+		}
+		if bad {
+			v.report(p, g.Pos(),
+				"goroutine fans out over simnet fabric calls; its branch time escapes the critical-path accounting — use simnet.Parallel")
+		}
+		return true
+	})
+}
+
+// checkHandlerVTime flags handler-shaped returns whose VTime is not
+// derived from the charged time (the VTime parameters or the done-values
+// of the handler's own fabric calls).
+func (v *vtimeChecker) checkHandlerVTime(p *Package, fn *ast.FuncDecl) {
+	if !handlerShape(p, fn, v.simnetPath, nil) {
+		return
+	}
+	taint := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		if !isNamedType(p.Info.Types[field.Type].Type, v.simnetPath, "VTime") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				taint[obj] = true
+			}
+		}
+	}
+	tainted := func(e ast.Expr) bool {
+		has := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := defOrUse(p.Info, id); obj != nil && taint[obj] {
+					has = true
+				}
+			}
+			return !has
+		})
+		return has
+	}
+	// Fixpoint: propagate taint through assignments and fabric results. A
+	// write through an index or field taints the whole container — reads
+	// of it may then yield the charged time.
+	for changed := true; changed; {
+		changed = false
+		mark := func(lhs ast.Expr) {
+			obj := exprRootObj(p.Info, lhs)
+			if obj != nil && !taint[obj] {
+				taint[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(asg.Rhs) == 1 && len(asg.Lhs) > 1 {
+				if call, ok := asg.Rhs[0].(*ast.CallExpr); ok {
+					if fc := fabricCallAt(p, call, v.simnetPath); fc != nil {
+						donePos := 0 // Send/Transfer: (VTime, error)
+						if fc.kind == "Call" {
+							donePos = 1 // (Payload, VTime, error)
+						}
+						mark(asg.Lhs[donePos])
+						return true
+					}
+				}
+				if tainted(asg.Rhs[0]) {
+					for _, lhs := range asg.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				if i >= len(asg.Rhs) {
+					break
+				}
+				if tainted(asg.Rhs[i]) {
+					mark(lhs)
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 3 {
+			return true
+		}
+		if !tainted(ret.Results[1]) {
+			v.report(p, ret.Results[1].Pos(), fmt.Sprintf(
+				"%s returns a VTime unrelated to the charged time; thread the handler's VTime parameter or a fabric done-value instead of fabricating one",
+				funcDisplayOf(p, fn)))
+		}
+		return true
+	})
+}
+
+// checkDroppedVTime flags fabric calls whose charged VTime is discarded.
+func (v *vtimeChecker) checkDroppedVTime(p *Package, fn *ast.FuncDecl) {
+	reported := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fc := fabricCallAt(p, call, v.simnetPath)
+			if fc == nil {
+				return true
+			}
+			reported[call] = true
+			donePos := 0
+			if fc.kind == "Call" {
+				donePos = 1
+			}
+			if donePos >= len(n.Lhs) {
+				return true
+			}
+			if id, ok := n.Lhs[donePos].(*ast.Ident); ok && id.Name == "_" {
+				v.report(p, call.Pos(), fmt.Sprintf(
+					"the VTime charged by %s of %q is discarded; thread it into the caller's accounting",
+					fc.kind, fc.value))
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && !reported[call] {
+				if fc := fabricCallAt(p, call, v.simnetPath); fc != nil {
+					v.report(p, call.Pos(), fmt.Sprintf(
+						"the result of %s of %q (including its charged VTime) is discarded; thread it into the caller's accounting",
+						fc.kind, fc.value))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkParallelBodies flags simnet.Parallel branch literals that write
+// captured state other than through elements indexed by the branch
+// parameter: such writes make the outcome depend on completion order.
+func (v *vtimeChecker) checkParallelBodies(p *Package, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := staticCallee(p.Info, call)
+		if callee == nil || callee.Name() != "Parallel" ||
+			callee.Pkg() == nil || callee.Pkg().Path() != v.simnetPath ||
+			len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		v.checkBranchLit(p, lit)
+		return true
+	})
+}
+
+func (v *vtimeChecker) checkBranchLit(p *Package, lit *ast.FuncLit) {
+	// Objects declared inside the branch (parameters included) are private
+	// to it; everything else is captured.
+	local := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	var branchParam types.Object
+	if len(lit.Type.Params.List) > 0 && len(lit.Type.Params.List[0].Names) > 0 {
+		branchParam = p.Info.Defs[lit.Type.Params.List[0].Names[0]]
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	usesBranchParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && branchParam != nil && defOrUse(p.Info, id) == branchParam {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	flagLvalue := func(lhs ast.Expr) {
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				return
+			}
+			obj := defOrUse(p.Info, l)
+			if _, isVar := obj.(*types.Var); isVar && !local[obj] {
+				v.report(p, l.Pos(), fmt.Sprintf(
+					"simnet.Parallel branch writes captured %q; return results through the branch (or index by the branch parameter) so completion order cannot affect them", l.Name))
+			}
+		case *ast.IndexExpr:
+			root := exprRootObj(p.Info, l.X)
+			if root == nil || local[root] || usesBranchParam(l.Index) {
+				return
+			}
+			if _, isVar := root.(*types.Var); isVar {
+				v.report(p, l.Pos(), fmt.Sprintf(
+					"simnet.Parallel branch writes captured %q at an index not derived from the branch parameter; completion order can affect the result", root.Name()))
+			}
+		case *ast.SelectorExpr, *ast.StarExpr:
+			var x ast.Expr
+			if sel, ok := l.(*ast.SelectorExpr); ok {
+				x = sel.X
+			} else {
+				x = l.(*ast.StarExpr).X
+			}
+			root := exprRootObj(p.Info, x)
+			if root == nil || local[root] {
+				return
+			}
+			if _, isVar := root.(*types.Var); isVar {
+				v.report(p, l.Pos(), fmt.Sprintf(
+					"simnet.Parallel branch writes captured %q; return results through the branch so completion order cannot affect them", root.Name()))
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flagLvalue(lhs)
+			}
+		case *ast.IncDecStmt:
+			flagLvalue(n.X)
+		}
+		return true
+	})
+}
+
+func (v *vtimeChecker) report(p *Package, pos token.Pos, msg string) {
+	if !v.analyzed[p] {
+		return
+	}
+	v.diags = append(v.diags, diagAt(p, pos, ruleVTime, msg))
+}
+
+// funcDisplayOf renders a declaration for diagnostics, falling back to
+// the bare name when the object is unavailable.
+func funcDisplayOf(p *Package, fn *ast.FuncDecl) string {
+	if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+		return funcDisplay(obj)
+	}
+	return fn.Name.Name
+}

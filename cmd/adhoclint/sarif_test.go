@@ -194,6 +194,10 @@ func sampleDiags() []Diagnostic {
 			Rule: rulePayloadSize, Msg: "SizeBytes of PutReq does not account for field Freq"},
 		{Pos: token.Position{Filename: "internal/chord/node.go", Line: 120, Column: 2},
 			Rule: ruleLockOrder, Msg: "lock-order cycle (potential deadlock): a → b → a"},
+		{Pos: token.Position{Filename: "internal/overlay/table.go", Line: 131, Column: 3},
+			Rule: ruleWireIso, Msg: "response of overlay.(*IndexNode).HandleCall sends overlay.RangeResp.Rows, which may alias mutable node state; deep-copy on send"},
+		{Pos: token.Position{Filename: "internal/rdfpeers/range.go", Line: 77, Column: 2},
+			Rule: ruleVTime, Msg: "payload of Transfer is sorted in place after send"},
 	}
 }
 

@@ -1,0 +1,115 @@
+// Package vtime exercises the vtime-accounting rule: concurrency must
+// flow through simnet.Parallel, handlers must thread the charged VTime,
+// and Parallel branch bodies must not depend on completion order.
+package vtime
+
+import (
+	"sync"
+
+	"adhocshare/internal/simnet"
+)
+
+// MethodPing is the package's only wire method.
+const MethodPing = "vt.ping"
+
+// Ping is a minimal payload.
+type Ping struct{ N int }
+
+func (Ping) SizeBytes() int { return 8 }
+
+// Node is a simnet participant.
+type Node struct {
+	net  *simnet.Network
+	addr simnet.Addr
+}
+
+// FanOutRaw spawns goroutines over fabric calls: their branch time never
+// joins the caller's critical path.
+func (n *Node) FanOutRaw(peers []simnet.Addr, at simnet.VTime) {
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() { // want "use simnet.Parallel"
+			defer wg.Done()
+			_, _, _ = n.net.Call(n.addr, p, MethodPing, Ping{}, at) // want "is discarded"
+		}()
+	}
+	wg.Wait()
+}
+
+// pingOne performs one fabric call.
+func (n *Node) pingOne(to simnet.Addr, at simnet.VTime) simnet.VTime {
+	_, done, err := n.net.Call(n.addr, to, MethodPing, Ping{}, at)
+	if err != nil {
+		return at
+	}
+	return done
+}
+
+// FanOutIndirect reaches the fabric through a helper: still flagged.
+func (n *Node) FanOutIndirect(peers []simnet.Addr, at simnet.VTime) {
+	for _, p := range peers {
+		p := p
+		go n.pingOne(p, at) // want "use simnet.Parallel"
+	}
+}
+
+// LogAsync is allowed: the goroutine never touches the fabric.
+func (n *Node) LogAsync(msgs chan string) {
+	go func() {
+		msgs <- "done"
+	}()
+}
+
+// FanOutParallel uses the sanctioned combinator: clean.
+func (n *Node) FanOutParallel(peers []simnet.Addr, at simnet.VTime) simnet.VTime {
+	res, done := simnet.Parallel(len(peers), 4, func(i int) (int, simnet.VTime, error) {
+		_, d, err := n.net.Call(n.addr, peers[i], MethodPing, Ping{}, at)
+		return 0, d, err
+	})
+	_ = res
+	return done
+}
+
+// CollectBad accumulates into captured state: the total depends on
+// completion order the deterministic scheduler does not define.
+func (n *Node) CollectBad(peers []simnet.Addr, at simnet.VTime) int {
+	total := 0
+	res, _ := simnet.Parallel(len(peers), 2, func(i int) (int, simnet.VTime, error) {
+		total += i // want "writes captured"
+		return 0, at, nil
+	})
+	_ = res
+	return total
+}
+
+// CollectGood writes only the branch's own slot: clean.
+func (n *Node) CollectGood(peers []simnet.Addr, at simnet.VTime) []int {
+	out := make([]int, len(peers))
+	res, _ := simnet.Parallel(len(peers), 2, func(i int) (int, simnet.VTime, error) {
+		out[i] = i
+		return 0, at, nil
+	})
+	_ = res
+	return out
+}
+
+// HandleCall dispatches vt.ping.
+func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	if method == MethodPing {
+		return Ping{}, at + 1, nil // charged time threaded: clean
+	}
+	return Ping{}, simnet.VTime(7), nil // want "unrelated to the charged time"
+}
+
+// Notify drops the whole Send result, charged VTime included.
+func (n *Node) Notify(to simnet.Addr, at simnet.VTime) {
+	n.net.Send(n.addr, to, MethodPing, Ping{}, at) // want "is discarded"
+}
+
+// Relay threads the charged done value: clean.
+func (n *Node) Relay(to simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
+	done, err := n.net.Send(n.addr, to, MethodPing, Ping{}, at)
+	return done, err
+}

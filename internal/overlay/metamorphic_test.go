@@ -224,3 +224,59 @@ func TestMetamorphicIndexRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMutateAfterPublishDoesNotAlterIndex pins the wire-isolation
+// ownership contract at the API boundary: Publish and PublishGraph must
+// not retain references into the caller's triple slice, so mutating the
+// slice afterwards (as a provider reusing a scratch buffer would) cannot
+// corrupt the distributed location tables.
+func TestMutateAfterPublishDoesNotAlterIndex(t *testing.T) {
+	pool := metaVocab()
+	providers := []simnet.Addr{"P0", "P1"}
+	for _, serial := range []bool{true, false} {
+		s, now := newMetaSystem(t, serial, providers)
+
+		batch := append([]rdf.Triple(nil), pool[:6]...)
+		done, err := s.Publish("P0", batch, now)
+		if err != nil {
+			t.Fatalf("serial=%v: Publish: %v", serial, err)
+		}
+		now = done
+		graphBatch := append([]rdf.Triple(nil), pool[6:10]...)
+		done, err = s.PublishGraph("P1", "urn:g1", graphBatch, now)
+		if err != nil {
+			t.Fatalf("serial=%v: PublishGraph: %v", serial, err)
+		}
+		now = done
+
+		before := indexState(s)
+
+		// Clobber every element of both caller-owned slices.
+		for i := range batch {
+			batch[i] = pool[(i+10)%len(pool)]
+		}
+		for i := range graphBatch {
+			graphBatch[i] = rdf.Triple{
+				S: rdf.NewIRI("http://example.org/clobbered"),
+				P: rdf.NewIRI("http://example.org/clobbered"),
+				O: rdf.NewLiteral("clobbered"),
+			}
+		}
+
+		if after := indexState(s); after != before {
+			t.Errorf("serial=%v: mutating the caller's slices changed the index\nbefore:\n%s\nafter:\n%s",
+				serial, before, after)
+		}
+
+		// The provider's republishable graph must be isolated too.
+		done, err = s.Republish("P0", now)
+		if err != nil {
+			t.Fatalf("serial=%v: Republish: %v", serial, err)
+		}
+		_ = done
+		if after := indexState(s); after != before {
+			t.Errorf("serial=%v: republish after caller mutation diverged\nbefore:\n%s\nafter:\n%s",
+				serial, before, after)
+		}
+	}
+}

@@ -160,7 +160,11 @@ func (t *LocationTable) ExtractRange(from, to chord.ID) map[chord.ID][]Posting {
 	out := map[chord.ID][]Posting{}
 	for key, row := range t.rows {
 		if ringRightIncl(key, from, to) {
-			out[key] = row
+			// Copy the row: delete(t.rows, key) drops the map entry but the
+			// slice's backing array stays shared with any posting iterators
+			// the table handed out, and the extracted rows travel over the
+			// wire to another node.
+			out[key] = append([]Posting(nil), row...)
 			delete(t.rows, key)
 		}
 	}

@@ -100,12 +100,15 @@ func (s *System) QueryRange(from simnet.Addr, p rdf.Term, lo, hi float64, at sim
 		}
 		prev = cur
 	}
+	// Sort before the transfer: the payload ships the same backing array
+	// the caller receives, so a post-send sort would mutate bytes already
+	// on the wire (the transfer cost itself is order-independent).
+	rdf.SortTriples(out)
 	// results travel back to the initiator
 	done, err := s.net.Transfer(prev, from, MethodResult, TriplesPayload{Triples: out}, now)
 	if err != nil {
 		return nil, visited, done, err
 	}
-	rdf.SortTriples(out)
 	return out, visited, done, nil
 }
 

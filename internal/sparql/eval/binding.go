@@ -17,6 +17,13 @@ import (
 
 // Binding is one solution mapping µ: a partial function from variable
 // names to RDF terms.
+//
+// Bindings are immutable after construction by convention: every algebra
+// operation (Merge, Project, extend, ...) builds a fresh mapping via
+// Clone or make, so sharing a Binding across nodes or solution sets is
+// safe. Mutate only freshly cloned bindings.
+//
+//adhoclint:wireimmutable every producer clones before writing
 type Binding map[string]rdf.Term
 
 // NewBinding returns an empty solution mapping.
@@ -136,6 +143,13 @@ func (b Binding) String() string {
 }
 
 // Solutions is a solution multiset Ω.
+//
+// Like Binding, a Solutions value is immutable after construction: the
+// algebra operations return fresh slices (sub-slicing in Slice is fine —
+// the elements are never overwritten), so partial solution sets can ship
+// between nodes without deep-copying.
+//
+//adhoclint:wireimmutable algebra ops return fresh slices, elements never overwritten
 type Solutions []Binding
 
 // SizeBytes estimates the wire size of the multiset.
