@@ -71,4 +71,3 @@ func checkLockBlocking(p *Package) []Diagnostic {
 	}
 	return diags
 }
-

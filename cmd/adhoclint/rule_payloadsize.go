@@ -41,11 +41,17 @@ func checkPayloadSizes(prog *Program, enabled map[string]bool) []Diagnostic {
 		if !ok {
 			return // e.g. simnet.Bytes: nothing to cross-check
 		}
+		// trace.TraceContext is zero-width wire metadata by contract (see
+		// trace_knowledge.go): its own SizeBytes returns 0 on purpose, and
+		// payload structs need not count TraceContext-typed fields.
+		if isTraceContext(named, prog.modPath) {
+			return
+		}
 		mentioned := fieldMentions(decl)
 		var missing []string
 		for i := 0; i < st.NumFields(); i++ {
 			f := st.Field(i)
-			if f.Name() == "_" || mentioned[f.Name()] {
+			if f.Name() == "_" || mentioned[f.Name()] || isTraceContext(f.Type(), prog.modPath) {
 				continue
 			}
 			missing = append(missing, f.Name())

@@ -127,7 +127,7 @@ func (v *vtimeChecker) computeTouches() {
 					return false
 				}
 				if call, ok := n.(*ast.CallExpr); ok {
-					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil && v.touches[callee] {
+					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil && !v.traceNeutral(callee) && v.touches[callee] {
 						reached = true
 					}
 				}
@@ -157,13 +157,21 @@ func (v *vtimeChecker) nodeTouchesFabric(p *Package, node ast.Node) bool {
 			found = true
 			return false
 		}
-		if callee, _ := staticCallee(p.Info, call); callee != nil && v.touches[callee] {
+		if callee, _ := staticCallee(p.Info, call); callee != nil && !v.traceNeutral(callee) && v.touches[callee] {
 			found = true
 			return false
 		}
 		return true
 	})
 	return found
+}
+
+// traceNeutral reports whether callee belongs to the trace package, whose
+// functions — Recorder.Record above all — are fabric-neutral by contract
+// (see trace_knowledge.go): recording a span moves no modeled bytes or
+// VTime, so the fabric-reach closure stops there.
+func (v *vtimeChecker) traceNeutral(callee *types.Func) bool {
+	return inTracePackage(callee, v.prog.modPath)
 }
 
 // checkGoFanout flags `go` statements that transitively reach fabric
@@ -179,7 +187,7 @@ func (v *vtimeChecker) checkGoFanout(p *Package, fn *ast.FuncDecl) {
 		case *ast.FuncLit:
 			bad = v.nodeTouchesFabric(p, fun.Body)
 		default:
-			if callee, _ := staticCallee(p.Info, g.Call); callee != nil {
+			if callee, _ := staticCallee(p.Info, g.Call); callee != nil && !v.traceNeutral(callee) {
 				bad = v.touches[callee]
 			}
 		}

@@ -74,7 +74,7 @@ type wireState struct {
 	why   []string
 }
 
-func safeState() *wireState        { return &wireState{kind: wireSafe} }
+func safeState() *wireState { return &wireState{kind: wireSafe} }
 func staleState(why ...string) *wireState {
 	return &wireState{kind: wireStale, why: why}
 }
@@ -97,15 +97,15 @@ type wireChecker struct {
 	simnetPath string
 	payload    *types.Interface // simnet.Payload, nil when absent
 
-	refFree    map[types.Type]bool         // per-type copy-summary cache
-	immutable  map[types.Object]bool       // wireimmutable type names
-	decls      map[*types.Func]*wireDecl   // production decls, loaded packages
-	summaries  map[*types.Func][]*wireState // per-result return freshness
-	inFlight   map[*types.Func]bool        // recursion guard (optimistic)
-	freshFns   map[*types.Func]bool        // constructor summaries (all results fresh)
-	freshBusy  map[*types.Func]bool        // recursion guard for freshFns
+	refFree         map[types.Type]bool          // per-type copy-summary cache
+	immutable       map[types.Object]bool        // wireimmutable type names
+	decls           map[*types.Func]*wireDecl    // production decls, loaded packages
+	summaries       map[*types.Func][]*wireState // per-result return freshness
+	inFlight        map[*types.Func]bool         // recursion guard (optimistic)
+	freshFns        map[*types.Func]bool         // constructor summaries (all results fresh)
+	freshBusy       map[*types.Func]bool         // recursion guard for freshFns
 	fieldElemWrites map[types.Object][]token.Pos // field → element-write sites
-	fns        map[*types.Func]*wireFn     // per-function fact cache
+	fns             map[*types.Func]*wireFn      // per-function fact cache
 
 	obligations []wireOblig
 	obligSeen   map[obligKey]bool
@@ -325,7 +325,13 @@ func (c *wireChecker) typeRefFreeUncached(t types.Type) bool {
 }
 
 // typeImmutable reports whether t carries the wireimmutable directive.
+// trace.TraceContext carries it implicitly (see trace_knowledge.go): wire
+// contexts are derived with Child, never written through, and the
+// immutable-write check enforces exactly that.
 func (c *wireChecker) typeImmutable(t types.Type) bool {
+	if isTraceContext(t, c.prog.modPath) {
+		return true
+	}
 	named, ok := t.(*types.Named)
 	return ok && c.immutable[named.Obj()]
 }

@@ -1,0 +1,22 @@
+package payloadsize
+
+import "adhocshare/internal/trace"
+
+// Traced carries zero-width trace metadata: TC need not be counted,
+// because trace.TraceContext's SizeBytes is 0 by contract.
+type Traced struct {
+	Name string
+	TC   trace.TraceContext
+}
+
+func (t Traced) SizeBytes() int { return len(t.Name) }
+
+// TracedBad still has to count its ordinary fields; only the trace
+// metadata is exempt.
+type TracedBad struct {
+	Name string
+	N    int
+	TC   trace.TraceContext
+}
+
+func (t TracedBad) SizeBytes() int { return len(t.Name) } // want "does not account for field N"

@@ -1,0 +1,42 @@
+package vtime
+
+import (
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/trace"
+)
+
+// RecordAsync fans out over Recorder calls only: Record is fabric-neutral
+// by contract (see trace_knowledge.go), so the vtime rule stays silent —
+// no charged time escapes the critical path.
+func RecordAsync(rec trace.Recorder, spans []trace.Span) {
+	for _, s := range spans {
+		s := s
+		go rec.Record(s)
+	}
+}
+
+// TracedFanOut derives child contexts from the branch index and records
+// spans inside the branches: clean — the only captured write is indexed
+// by the branch parameter, and Record moves no modeled time.
+func (n *Node) TracedFanOut(peers []simnet.Addr, rec trace.Recorder, tc trace.TraceContext, at simnet.VTime) simnet.VTime {
+	ctxs := make([]trace.TraceContext, len(peers))
+	res, done := simnet.Parallel(len(peers), 4, func(i int) (int, simnet.VTime, error) {
+		ctxs[i] = tc.Child(uint64(i))
+		_, d, err := n.net.Call(n.addr, peers[i], MethodPing, Ping{}, at)
+		rec.Record(trace.Span{Query: ctxs[i].Query, ID: ctxs[i].Span, Start: int64(at), End: int64(d)})
+		return 0, d, err
+	})
+	_ = res
+	return done
+}
+
+// TracedFanOutBad reassigns the captured recorder inside a branch: trace
+// types grant no exemption from the order-independence requirement.
+func (n *Node) TracedFanOutBad(peers []simnet.Addr, rec trace.Recorder, at simnet.VTime) {
+	res, done := simnet.Parallel(len(peers), 4, func(i int) (int, simnet.VTime, error) {
+		rec = nil // want "writes captured"
+		_, d, err := n.net.Call(n.addr, peers[i], MethodPing, Ping{}, at)
+		return 0, d, err
+	})
+	_, _ = res, done
+}

@@ -89,7 +89,7 @@ func (n *Node) Push(to simnet.Addr, at simnet.VTime) simnet.VTime {
 	if err != nil {
 		return done
 	}
-	out[0] = Row{} // want "mutated after send"
+	out[0] = Row{}                                                      // want "mutated after send"
 	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K }) // want "sorted in place after send"
 	return done
 }

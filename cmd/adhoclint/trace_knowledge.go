@@ -1,0 +1,39 @@
+package main
+
+import "go/types"
+
+// The tracing layer (internal/trace) rides inside wire messages without
+// being part of the modeled protocol, and the whole-program rules know its
+// contract explicitly instead of deriving it:
+//
+//   - trace.TraceContext is zero-width wire metadata: its SizeBytes
+//     returns 0 by contract so enabling tracing can never change modeled
+//     bytes, transfer delays or VTimes. The payload-size rule therefore
+//     neither audits TraceContext's own SizeBytes nor requires payload
+//     SizeBytes methods to mention TraceContext-typed fields.
+//   - trace.TraceContext is wire-immutable: once placed on a message it is
+//     never written through — child contexts are derived with Child. The
+//     wireiso rule treats the type as carrying an implicit
+//     //adhoclint:wireimmutable directive, which both accepts it in any
+//     payload position and flags field writes to shared contexts.
+//   - trace.Recorder calls are fabric-neutral: Record observes spans but
+//     never moves modeled bytes or time, so the vtime rule's fabric-reach
+//     closure stops at the trace package.
+
+// tracePath is the import path of the module's trace package.
+func tracePath(modPath string) string { return modPath + "/internal/trace" }
+
+// isTraceContext reports whether t is the module's trace.TraceContext,
+// possibly behind a pointer.
+func isTraceContext(t types.Type, modPath string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isNamedType(t, tracePath(modPath), "TraceContext")
+}
+
+// inTracePackage reports whether fn is declared in the module's trace
+// package (Recorder.Record and the span/context constructors).
+func inTracePackage(fn *types.Func, modPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tracePath(modPath)
+}

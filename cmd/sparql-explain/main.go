@@ -3,11 +3,21 @@
 // (filter pushing + heuristic join reordering) — the first three stages of
 // the paper's Fig. 3 workflow, offline.
 //
+// With -trace the query additionally *executes* against the fixed-seed E9
+// demo deployment (the Fig. 4 FOAF workload over 8 index nodes) with
+// VTime tracing enabled, and the resulting distributed trace prints as a
+// causality tree; -trace-json writes the same trace in Chrome trace_event
+// format (load it at https://ui.perfetto.dev). -strategy picks the
+// per-pattern strategy, making the Fig. 5 topologies directly visible:
+// basic renders a star, chain and freq-chain render linked lists.
+//
 // Usage:
 //
 //	sparql-explain 'SELECT ?x WHERE { ... }'
 //	sparql-explain -f query.rq
 //	echo 'ASK { ... }' | sparql-explain
+//	sparql-explain -trace -strategy chain 'SELECT ?x WHERE { ... }'
+//	sparql-explain -trace-json trace.json 'SELECT ?x WHERE { ... }'
 package main
 
 import (
@@ -17,15 +27,22 @@ import (
 	"os"
 	"strings"
 
+	"adhocshare/internal/dqp"
+	"adhocshare/internal/experiments"
 	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/algebra"
 	"adhocshare/internal/sparql/optimize"
+	"adhocshare/internal/trace"
 )
 
 func main() {
 	file := flag.String("f", "", "read the query from a file instead of the argument")
 	noPush := flag.Bool("no-push", false, "disable filter pushing")
 	noReorder := flag.Bool("no-reorder", false, "disable join reordering")
+	doTrace := flag.Bool("trace", false, "execute on the E9 demo deployment and print the distributed trace tree")
+	traceJSON := flag.String("trace-json", "", "execute on the E9 demo deployment and write a Chrome trace_event JSON file")
+	strategy := flag.String("strategy", "chain", "per-pattern strategy for -trace/-trace-json (basic, chain, freq-chain)")
+	seed := flag.Int64("seed", 0, "master seed of the demo deployment (0 = the EXPERIMENTS.md workload)")
 	flag.Parse()
 
 	query, err := readQuery(*file, flag.Args())
@@ -63,6 +80,46 @@ func main() {
 	})
 	fmt.Printf("optimized:  %s\n", opt)
 	fmt.Printf("operators:  %d → %d\n", algebra.CountOps(op), algebra.CountOps(opt))
+
+	if *doTrace || *traceJSON != "" {
+		if err := runTraced(query, *strategy, *seed, *doTrace, *traceJSON); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runTraced executes the query on the E9 demo deployment with tracing on
+// and renders the recorded spans as requested.
+func runTraced(query, strategy string, seed int64, tree bool, jsonPath string) error {
+	st, err := dqp.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	spans, stats, err := experiments.TraceQuery(experiments.Params{Seed: seed}, st, "D00", query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace:      %d spans, %s strategy, %s\n\n", len(spans), st, stats.String())
+	if tree {
+		if err := trace.WriteTree(os.Stdout, spans); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (load at https://ui.perfetto.dev)\n", jsonPath)
+	}
+	return nil
 }
 
 func readQuery(file string, args []string) (string, error) {

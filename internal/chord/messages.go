@@ -1,6 +1,9 @@
 package chord
 
-import "adhocshare/internal/simnet"
+import (
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/trace"
+)
 
 // RPC method names. The "chord." prefix lets experiments separate DHT
 // maintenance and routing traffic from query traffic in simnet metrics.
@@ -8,7 +11,7 @@ const (
 	MethodFindSuccessor      = "chord.find_successor"
 	MethodFindSuccessorBatch = "chord.find_successor_batch"
 	MethodGetPredecessor     = "chord.get_predecessor"
-	MethodGetSuccList    = "chord.get_successor_list"
+	MethodGetSuccList        = "chord.get_successor_list"
 	MethodNotify             = "chord.notify"
 	MethodPing               = "chord.ping"
 	MethodSetPredecessor     = "chord.set_predecessor"
@@ -34,14 +37,21 @@ func (r Ref) SizeBytes() int { return r.ID.SizeBytes() + len(r.Addr) }
 func (r Ref) IsZero() bool { return r.Addr == "" }
 
 // FindReq asks for the successor of Target; Hops counts forwarding steps
-// taken so far.
+// taken so far. TC carries trace causality and is wire-immutable: each
+// forwarding hop derives a fresh child context instead of mutating it.
 type FindReq struct {
 	Target ID
 	Hops   int
+	TC     trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r FindReq) SizeBytes() int { return r.Target.SizeBytes() + hopWidth(r.Hops) }
+func (r FindReq) SizeBytes() int {
+	return r.Target.SizeBytes() + hopWidth(r.Hops) + r.TC.SizeBytes()
+}
+
+// TraceCtx implements trace.Carrier.
+func (r FindReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // FindResp carries the found successor and the total hop count.
 type FindResp struct {
@@ -59,16 +69,20 @@ func (r FindResp) SizeBytes() int { return r.Node.SizeBytes() + hopWidth(r.Hops)
 type BatchFindReq struct {
 	Targets []ID
 	Hops    int
+	TC      trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
 func (r BatchFindReq) SizeBytes() int {
-	n := 4 + hopWidth(r.Hops)
+	n := 4 + hopWidth(r.Hops) + r.TC.SizeBytes()
 	for _, t := range r.Targets {
 		n += t.SizeBytes()
 	}
 	return n
 }
+
+// TraceCtx implements trace.Carrier.
+func (r BatchFindReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // BatchFindResp carries the found successors, Nodes[i] owning Targets[i]
 // of the request, and the deepest forwarding chain any target needed.

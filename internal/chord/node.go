@@ -216,9 +216,12 @@ func (n *Node) handleFindSuccessor(at simnet.VTime, req FindReq) (FindResp, simn
 		return FindResp{Node: succ, Hops: req.Hops}, at, nil
 	}
 	now := at
-	for _, next := range n.routeCandidates(req.Target) {
+	for ci, next := range n.routeCandidates(req.Target) {
+		// Each forwarding hop derives a child trace context from the request
+		// it received, so a traced lookup renders as a chain of message
+		// spans (candidate index keeps retry attempts distinct).
 		resp, done, err := n.net.Call(n.addr, next.Addr, MethodFindSuccessor,
-			FindReq{Target: req.Target, Hops: req.Hops + 1}, now)
+			FindReq{Target: req.Target, Hops: req.Hops + 1, TC: req.TC.Child(uint64(ci))}, now)
 		if err == nil {
 			return resp.(FindResp), done, nil
 		}
@@ -271,7 +274,7 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 			sub[j] = req.Targets[i].truncate(n.cfg.Bits)
 		}
 		resp, gdone, err := n.net.Call(n.addr, next, MethodFindSuccessorBatch,
-			BatchFindReq{Targets: sub, Hops: req.Hops + 1}, at)
+			BatchFindReq{Targets: sub, Hops: req.Hops + 1, TC: req.TC.Child(uint64(g))}, at)
 		if err != nil {
 			return BatchFindResp{}, gdone, err
 		}
@@ -287,8 +290,11 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 			n.evict(order[g])
 			now := r.Done
 			for _, i := range idxs {
+				// Fallback sequence numbers start past the group indexes so
+				// they never collide with the parallel forwards above.
 				fr, fdone, ferr := n.handleFindSuccessor(now,
-					FindReq{Target: req.Targets[i].truncate(n.cfg.Bits), Hops: req.Hops})
+					FindReq{Target: req.Targets[i].truncate(n.cfg.Bits), Hops: req.Hops,
+						TC: req.TC.Child(uint64(len(order) + i))})
 				now = fdone
 				if ferr != nil {
 					return BatchFindResp{}, simnet.MaxTime(done, now), ferr

@@ -11,6 +11,7 @@ import (
 	"adhocshare/internal/sparql/algebra"
 	"adhocshare/internal/sparql/eval"
 	"adhocshare/internal/sparql/optimize"
+	"adhocshare/internal/trace"
 )
 
 // Engine executes SPARQL queries over a hybrid overlay deployment,
@@ -65,6 +66,40 @@ type qctx struct {
 	subq          int
 	targets       map[simnet.Addr]bool
 	drops         int
+	cacheHits     int
+	// rec is the span recorder (nil = tracing disabled, checked once in
+	// Run); tc is the query's root trace context and seq the serial child
+	// allocator — only ever incremented outside Parallel branches, so
+	// derived span identifiers stay deterministic.
+	rec trace.Recorder
+	tc  trace.TraceContext
+	seq uint64
+}
+
+// nextTC derives the next serial child context of a parent span. It must
+// not be called inside simnet.Parallel branches (derive from the branch
+// index there instead).
+func (c *qctx) nextTC(parent trace.TraceContext) trace.TraceContext {
+	c.seq++
+	return parent.Child(c.seq)
+}
+
+// opSpan records an engine-level operation span when tracing is enabled.
+func (c *qctx) opSpan(tc trace.TraceContext, name, site, note string, start, end simnet.VTime) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Record(trace.Span{
+		Query:  tc.Query,
+		ID:     tc.Span,
+		Parent: tc.Parent,
+		Kind:   trace.KindOp,
+		Name:   name,
+		From:   site,
+		Start:  int64(start),
+		End:    int64(end),
+		Note:   note,
+	})
 }
 
 // Query parses, optimizes and executes a query issued by the given
@@ -98,6 +133,10 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 	before := e.sys.Net().Metrics()
 	ctx := &qctx{initiator: initiator, dataset: q.From, fromNamed: q.FromNamed,
 		existenceOnly: q.Form == sparql.FormAsk, targets: map[simnet.Addr]bool{}}
+	if rec := e.sys.Net().Recorder(); rec != nil {
+		ctx.rec = rec
+		ctx.tc = trace.Root(e.sys.NextTraceID())
+	}
 
 	res, done, err := e.exec(ctx, op, at)
 	if err != nil {
@@ -105,7 +144,7 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 	}
 	// Post-processing happens at the initiator: ship the final solutions
 	// home first (Fig. 3 "Post-Processing").
-	res, done, err = e.shipTo(res, ctx.initiator, methodResult, done)
+	res, done, err = e.shipTo(ctx, res, ctx.initiator, methodResult, done)
 	if err != nil {
 		return nil, Stats{}, done, err
 	}
@@ -127,6 +166,8 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 		}
 		out.Triples = ts
 	}
+	ctx.opSpan(ctx.tc, "dqp.query", string(initiator),
+		e.opts.Strategy.String()+"/"+e.opts.Conjunction.String(), at, done)
 
 	delta := e.sys.Net().Metrics().Sub(before)
 	stats := Stats{
@@ -138,6 +179,7 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 		Subqueries:       ctx.subq,
 		TargetsContacted: len(ctx.targets),
 		StaleDrops:       ctx.drops,
+		CacheHits:        ctx.cacheHits,
 		Solutions:        len(out.Solutions),
 	}
 	return out, stats, done, nil
@@ -148,10 +190,15 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 func (e *Engine) runBareDescribe(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*Result, Stats, simnet.VTime, error) {
 	before := e.sys.Net().Metrics()
 	ctx := &qctx{initiator: initiator, targets: map[simnet.Addr]bool{}}
+	if rec := e.sys.Net().Recorder(); rec != nil {
+		ctx.rec = rec
+		ctx.tc = trace.Root(e.sys.NextTraceID())
+	}
 	ts, done, err := e.describe(ctx, q, nil, at)
 	if err != nil {
 		return nil, Stats{}, done, err
 	}
+	ctx.opSpan(ctx.tc, "dqp.query", string(initiator), "describe", at, done)
 	delta := e.sys.Net().Metrics().Sub(before)
 	stats := Stats{
 		Messages:         delta.Messages,
@@ -162,6 +209,7 @@ func (e *Engine) runBareDescribe(initiator simnet.Addr, q *sparql.Query, at simn
 		Subqueries:       ctx.subq,
 		TargetsContacted: len(ctx.targets),
 		StaleDrops:       ctx.drops,
+		CacheHits:        ctx.cacheHits,
 	}
 	return &Result{Triples: ts, Plan: "Describe"}, stats, done, nil
 }
@@ -200,7 +248,7 @@ func (e *Engine) describe(ctx *qctx, q *sparql.Query, sols eval.Solutions, at si
 		if err != nil {
 			return nil, now, err
 		}
-		res, done, err = e.shipTo(res, ctx.initiator, methodResult, now)
+		res, done, err = e.shipTo(ctx, res, ctx.initiator, methodResult, now)
 		now = done
 		if err != nil {
 			return nil, now, err

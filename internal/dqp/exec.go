@@ -12,6 +12,7 @@ import (
 	"adhocshare/internal/sparql/algebra"
 	"adhocshare/internal/sparql/eval"
 	"adhocshare/internal/sparql/optimize"
+	"adhocshare/internal/trace"
 )
 
 // siteSet is a solution multiset together with the node it currently
@@ -108,7 +109,7 @@ func (e *Engine) exec(ctx *qctx, op algebra.Op, at simnet.VTime) (siteSet, simne
 		if err != nil {
 			return siteSet{}, done, err
 		}
-		in, done, err = e.shipTo(in, ctx.initiator, methodShip, done)
+		in, done, err = e.shipTo(ctx, in, ctx.initiator, methodShip, done)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -119,7 +120,7 @@ func (e *Engine) exec(ctx *qctx, op algebra.Op, at simnet.VTime) (siteSet, simne
 		if err != nil {
 			return siteSet{}, done, err
 		}
-		in, done, err = e.shipTo(in, ctx.initiator, methodShip, done)
+		in, done, err = e.shipTo(ctx, in, ctx.initiator, methodShip, done)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -156,7 +157,7 @@ func (e *Engine) mergeAt(ctx *qctx, l, r siteSet, at simnet.VTime, merge func(a,
 	}
 	now := at
 	if l.site != site {
-		shipped, done, err := e.shipTo(l, site, methodShip, now)
+		shipped, done, err := e.shipTo(ctx, l, site, methodShip, now)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -164,7 +165,7 @@ func (e *Engine) mergeAt(ctx *qctx, l, r siteSet, at simnet.VTime, merge func(a,
 		now = done
 	}
 	if r.site != site {
-		shipped, done, err := e.shipTo(r, site, methodShip, now)
+		shipped, done, err := e.shipTo(ctx, r, site, methodShip, now)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -279,13 +280,13 @@ func haveSharedVars(a, b eval.Solutions) bool {
 
 // shipTo moves a solution multiset to the destination site as one transfer
 // message. Shipping to the current site is free.
-func (e *Engine) shipTo(s siteSet, dest simnet.Addr, method string, at simnet.VTime) (siteSet, simnet.VTime, error) {
+func (e *Engine) shipTo(ctx *qctx, s siteSet, dest simnet.Addr, method string, at simnet.VTime) (siteSet, simnet.VTime, error) {
 	if s.site == dest || s.site == "" {
 		s.site = dest
 		return s, at, nil
 	}
 	done, err := e.sys.Net().Transfer(s.site, dest, method,
-		overlay.SolutionsResp{Sols: s.sols}, at)
+		overlay.SolutionsResp{Sols: s.sols, TC: ctx.nextTC(ctx.tc)}, at)
 	if err != nil {
 		return siteSet{}, done, err
 	}
@@ -359,26 +360,33 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 			lookups = append(lookups, key)
 		}
 	}
+	// The lookup fan-out gets its own op span; each branch derives its
+	// message contexts from the branch index, so span identifiers stay
+	// deterministic under concurrent execution.
+	planTC := ctx.nextTC(ctx.tc)
 	// rowResult is one resolved location-table row; hops only counts ring
-	// forwarding actually performed (zero on an initiator-cache hit).
+	// forwarding actually performed (zero on an initiator-cache hit, which
+	// hit reports so the engine can count it after the join).
 	type rowResult struct {
 		index    simnet.Addr
 		postings []overlay.Posting
 		hops     int
+		hit      bool
 	}
 	results, done := simnet.Parallel(len(lookups), 0, func(li int) (rowResult, simnet.VTime, error) {
 		key := lookups[li]
 		if e.opts.CacheLookups {
 			if row, ok := e.cache.get(key); ok && e.sys.Net().Alive(row.index) {
-				return rowResult{index: row.index, postings: append([]overlay.Posting(nil), row.postings...)}, at, nil
+				return rowResult{index: row.index, postings: append([]overlay.Posting(nil), row.postings...), hit: true}, at, nil
 			}
 		}
-		owner, hops, lookupDone, err := e.sys.ResolveKey(ctx.initiator, key, at)
+		owner, hops, lookupDone, err := e.sys.ResolveKeyTraced(ctx.initiator, key,
+			planTC.Child(uint64(2*li)), at)
 		if err != nil {
 			return rowResult{}, lookupDone, err
 		}
 		resp, lookupDone, err := e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
-			overlay.LookupReq{Key: key}, lookupDone)
+			overlay.LookupReq{Key: key, TC: planTC.Child(uint64(2*li + 1))}, lookupDone)
 		if err != nil {
 			return rowResult{}, lookupDone, err
 		}
@@ -398,6 +406,12 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 		}
 		rows[lookups[li]] = r.Value
 		ctx.hops += r.Value.hops
+		if r.Value.hit {
+			ctx.cacheHits++
+		}
+	}
+	if len(lookups) > 0 {
+		ctx.opSpan(planTC, "dqp.plan", string(ctx.initiator), "", at, simnet.MaxTime(at, done))
 	}
 	for i := range plans {
 		if !hasKey[i] {
@@ -547,14 +561,28 @@ func (e *Engine) execPattern(ctx *qctx, plan patternPlan, seeds siteSet, filter 
 	if len(targets) == 0 {
 		return siteSet{sols: nil, site: seeds.site}, at, nil
 	}
+	// Every pattern execution is one op span; the strategy implementations
+	// hang their message spans off patTC, so the three strategies render as
+	// the three Fig. 5 flow shapes (star, chain, frequency-ordered chain).
+	patTC := ctx.nextTC(ctx.tc)
+	var (
+		out  siteSet
+		done simnet.VTime
+		err  error
+	)
 	switch e.opts.Strategy {
 	case StrategyBasic:
-		return e.execPatternBasic(ctx, plan, seeds, filter, scope, at)
+		out, done, err = e.execPatternBasic(ctx, plan, seeds, filter, scope, patTC, at)
 	case StrategyFreqChain:
-		return e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, true, at)
+		out, done, err = e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, true, patTC, at)
 	default:
-		return e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, false, at)
+		out, done, err = e.execPatternChain(ctx, plan, seeds, filter, scope, preferEnd, false, patTC, at)
 	}
+	if err == nil && ctx.rec != nil {
+		ctx.opSpan(patTC, "dqp.pattern", string(ctx.initiator),
+			e.opts.Strategy.String()+" "+plan.pattern.String(), at, done)
+	}
+	return out, done, err
 }
 
 // execPatternBasic: the sub-query (with seeds) ships to the pattern's
@@ -562,16 +590,18 @@ func (e *Engine) execPattern(ctx *qctx, plan patternPlan, seeds siteSet, filter 
 // returns its matches and the index node assembles the union (Sect. IV-C
 // basic). High parallelism, duplicated seed shipping, responses all travel
 // back — low response time, high transmission overhead.
-func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, at simnet.VTime) (siteSet, simnet.VTime, error) {
+func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, patTC trace.TraceContext, at simnet.VTime) (siteSet, simnet.VTime, error) {
 	assembly := plan.index
 	if assembly == "" { // flooding: assemble at the seeds' current site
 		assembly = seeds.site
 	}
-	req := overlay.MatchReq{Patterns: []rdf.Triple{plan.pattern}, Filter: filter, Seeds: seeds.sols,
+	base := overlay.MatchReq{Patterns: []rdf.Triple{plan.pattern}, Filter: filter, Seeds: seeds.sols,
 		Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope}
 	now := at
 	if seeds.site != assembly {
-		done, err := e.sys.Net().Transfer(seeds.site, assembly, methodDispatch, req, now)
+		dispatch := base
+		dispatch.TC = patTC.Child(0)
+		done, err := e.sys.Net().Transfer(seeds.site, assembly, methodDispatch, dispatch, now)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -579,11 +609,16 @@ func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, fi
 	}
 	var acc eval.Solutions
 	finish := now
-	for _, p := range plan.postings {
+	for fi, p := range plan.postings {
+		// Star topology: every fan-out request is a fresh copy of the
+		// sub-query and a sibling child of the pattern span (sequence 0 is
+		// the dispatch above).
+		req := base
+		req.TC = patTC.Child(uint64(fi + 1))
 		resp, done, err := e.sys.Net().Call(assembly, p.Node, overlay.MethodMatch, req, now)
 		if err != nil {
 			finish = simnet.MaxTime(finish, done)
-			e.dropStale(ctx, plan, p.Node)
+			e.dropStale(ctx, plan, p.Node, assembly, req.TC, done)
 			continue
 		}
 		ctx.subq++
@@ -612,7 +647,7 @@ func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, fi
 // the result on; the final node keeps the result (it becomes the new
 // site). byFreq orders targets by increasing Table I frequency so the
 // largest contribution never travels (Sect. IV-C further optimization).
-func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, preferEnd simnet.Addr, byFreq bool, at simnet.VTime) (siteSet, simnet.VTime, error) {
+func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, filter sparql.Expression, scope rdf.Term, preferEnd simnet.Addr, byFreq bool, patTC trace.TraceContext, at simnet.VTime) (siteSet, simnet.VTime, error) {
 	seq := orderTargets(plan.postings, preferEnd, byFreq)
 	patterns := []rdf.Triple{plan.pattern}
 
@@ -621,20 +656,28 @@ func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, fi
 	// query ... to the node at the top of the sequence list").
 	now := at
 	prev := seeds.site
+	// linkTC is the context of the previous hop's message: every hop
+	// derives its own from it, so a traced chain renders as a linked list
+	// (vs. the basic strategy's star).
+	linkTC := patTC
 	if plan.index != "" && prev != plan.index {
+		dispatchTC := patTC.Child(0)
 		done, err := e.sys.Net().Transfer(prev, plan.index, methodDispatch,
 			overlay.MatchReq{Patterns: patterns, Filter: filter, Seeds: seeds.sols,
-				Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope}, now)
+				Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope,
+				TC: dispatchTC}, now)
 		if err != nil {
 			return siteSet{}, done, err
 		}
 		now = done
 		prev = plan.index
+		linkTC = dispatchTC
 	}
 
 	var acc eval.Solutions
 	reached := prev
 	for i, target := range seq {
+		hopTC := linkTC.Child(uint64(i + 1))
 		payload := chainPayload{
 			Patterns: patterns,
 			Filter:   filter,
@@ -642,12 +685,13 @@ func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, fi
 			Acc:      acc,
 			Seq:      addrsOf(seq[i+1:]),
 			Dataset:  ctx.dataset,
+			TC:       hopTC,
 		}
 		done, err := e.sys.Net().Transfer(prev, target.Node, overlay.MethodChainHop, payload, now)
 		now = done
 		if err != nil {
 			if errors.Is(err, simnet.ErrUnreachable) {
-				e.dropStale(ctx, plan, target.Node)
+				e.dropStale(ctx, plan, target.Node, prev, hopTC, now)
 				continue // forward from the same node to the next target
 			}
 			return siteSet{}, now, err
@@ -664,6 +708,7 @@ func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, fi
 		acc = eval.Distinct(eval.Union(acc, st.LocalMatchScope(patterns, filter, seeds.sols, ctx.dataset, ctx.fromNamed, scope)))
 		prev = target.Node
 		reached = target.Node
+		linkTC = hopTC
 		if plan.stopOnFirst && len(acc) > 0 {
 			break
 		}
@@ -705,17 +750,21 @@ func addrsOf(ps []overlay.Posting) []simnet.Addr {
 }
 
 // dropStale implements the Sect. III-D timeout cleanup: when a storage
-// node does not acknowledge a sub-query, its postings are removed at the
-// pattern's index node (and its replicas).
-func (e *Engine) dropStale(ctx *qctx, plan patternPlan, node simnet.Addr) {
+// node does not acknowledge a sub-query, the site that observed the
+// timeout notifies the pattern's index node, which drops the stale
+// postings and forwards the retraction to its replica successors. The
+// notification is fire-and-forget — the query never waits for cleanup —
+// but it travels over the fabric, so retraction traffic is accounted and
+// visible as Stats.RetractionBytes.
+func (e *Engine) dropStale(ctx *qctx, plan patternPlan, node, observer simnet.Addr, tc trace.TraceContext, at simnet.VTime) {
 	ctx.drops++
 	e.cache.dropNode(node)
 	if plan.index == "" {
 		return
 	}
-	if idx, ok := e.sys.Index(plan.index); ok {
-		idx.Table.DropNode(node)
-	}
+	//adhoclint:ignore vtime deliberate fire-and-forget: the timeout cleanup notification is accounted traffic but never extends the query's critical path
+	e.sys.Net().Send(observer, plan.index, overlay.MethodDropNode,
+		overlay.DropNodeReq{Node: node, Propagate: true, TC: tc.Child(1)}, at)
 }
 
 // reorderPlans orders patterns by the location-table frequency statistics:

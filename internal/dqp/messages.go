@@ -5,6 +5,7 @@ import (
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/trace"
 )
 
 // RPC / transfer method names used by the distributed executor. They are
@@ -30,11 +31,18 @@ type chainPayload struct {
 	Acc      eval.Solutions
 	Seq      []simnet.Addr
 	Dataset  []string
+	// TC carries trace causality: each hop derives the next hop's context
+	// from its own, so a traced chain renders as a linked list of message
+	// spans (the Fig. 5 chained flow).
+	TC trace.TraceContext
 }
+
+// TraceCtx implements trace.Carrier.
+func (c chainPayload) TraceCtx() trace.TraceContext { return c.TC }
 
 // SizeBytes implements simnet.Payload.
 func (c chainPayload) SizeBytes() int {
-	n := 8
+	n := 8 + c.TC.SizeBytes()
 	for _, p := range c.Patterns {
 		n += p.SizeBytes()
 	}

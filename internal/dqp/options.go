@@ -27,6 +27,8 @@
 //     deterministic third node (Sect. II, after Cornell/Yu and Ye et al.).
 package dqp
 
+import "fmt"
+
 // Strategy selects the per-pattern execution plan (Sect. IV-C).
 type Strategy int
 
@@ -58,6 +60,17 @@ func (s Strategy) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseStrategy maps a strategy's String spelling back to its value — the
+// CLI-flag inverse of String.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range []Strategy{StrategyBasic, StrategyChain, StrategyFreqChain} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("dqp: unknown strategy %q (want basic, chain or freq-chain)", name)
 }
 
 // Conjunction selects how multi-pattern BGPs are combined (Sect. IV-D).

@@ -32,6 +32,9 @@ type Stats struct {
 	// whose postings were dropped from index nodes (Sect. III-D timeout
 	// cleanup).
 	StaleDrops int
+	// CacheHits counts index lookups answered from the initiator's
+	// memoized location-table rows without touching the ring.
+	CacheHits int
 	// Solutions is the number of rows in the final result.
 	Solutions int
 }
@@ -57,8 +60,15 @@ func (s Stats) IndexBytes() int64 {
 	return n
 }
 
+// RetractionBytes sums the traffic of the retraction path: the drop
+// notifications that remove a stale provider's postings from index nodes
+// (Sect. III-D timeout cleanup) during query execution.
+func (s Stats) RetractionBytes() int64 {
+	return s.PerMethod["index.drop_node"].Bytes
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("msgs=%d bytes=%d resp=%v hops=%d subq=%d targets=%d sols=%d",
+	return fmt.Sprintf("msgs=%d bytes=%d resp=%v hops=%d subq=%d targets=%d drops=%d cachehits=%d sols=%d",
 		s.Messages, s.Bytes, s.ResponseTime, s.LookupHops, s.Subqueries,
-		s.TargetsContacted, s.Solutions)
+		s.TargetsContacted, s.StaleDrops, s.CacheHits, s.Solutions)
 }

@@ -10,11 +10,12 @@ import (
 // order and lowercase keys are part of the output contract; downstream
 // tooling (plot scripts, regression diffing) keys on them.
 type jsonTable struct {
-	ID      string     `json:"id"`
-	Caption string     `json:"caption"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
+	ID      string       `json:"id"`
+	Caption string       `json:"caption"`
+	Headers []string     `json:"headers"`
+	Rows    [][]string   `json:"rows"`
+	Notes   []string     `json:"notes,omitempty"`
+	Traffic []TrafficRow `json:"traffic,omitempty"`
 }
 
 type jsonDoc struct {
@@ -56,7 +57,8 @@ func WriteJSON(w io.Writer, tables []*Table) error {
 	doc := jsonDoc{Experiments: make([]jsonTable, 0, len(tables))}
 	for _, t := range tables {
 		doc.Experiments = append(doc.Experiments, jsonTable{
-			ID: t.ID, Caption: t.Caption, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+			ID: t.ID, Caption: t.Caption, Headers: t.Headers, Rows: t.Rows,
+			Notes: t.Notes, Traffic: t.Traffic,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -282,6 +282,8 @@ func E9Fig4EndToEnd(p Params) (*Table, error) {
 				t.AddRow(st.String(), cj.String(), flags.push, flags.reorder,
 					len(res.Solutions), kb(stats.ShippedSolutionBytes()),
 					kb(stats.Bytes), stats.Messages, ms(stats.ResponseTime))
+				t.AddTraffic(fmt.Sprintf("%s/%s/push=%v", st, cj, flags.push),
+					stats.PerMethod)
 			}
 		}
 	}

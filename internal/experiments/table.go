@@ -10,7 +10,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+
+	"adhocshare/internal/simnet"
 )
 
 // Table is one experiment's result: a caption, column headers and rows.
@@ -21,6 +24,34 @@ type Table struct {
 	Rows    [][]string
 	// Notes records observations tied to the paper's claims.
 	Notes []string
+	// Traffic is the optional per-method traffic breakdown of the
+	// experiment's runs, one entry per (scope, RPC method). Scope names the
+	// configuration row the traffic belongs to.
+	Traffic []TrafficRow
+}
+
+// TrafficRow is one RPC method's share of a run's traffic.
+type TrafficRow struct {
+	Scope    string `json:"scope,omitempty"`
+	Method   string `json:"method"`
+	Messages int64  `json:"messages"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// AddTraffic folds a per-method snapshot into the table's traffic
+// breakdown under the given scope, in deterministic method order.
+func (t *Table) AddTraffic(scope string, per map[string]simnet.MethodStats) {
+	methods := make([]string, 0, len(per))
+	for m := range per {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		st := per[m]
+		t.Traffic = append(t.Traffic, TrafficRow{
+			Scope: scope, Method: m, Messages: st.Messages, Bytes: st.Bytes,
+		})
+	}
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -70,6 +101,23 @@ func (t *Table) Fprint(w io.Writer) {
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
+	// One compact line per scope: every method's msgs/bytes share.
+	var scope string
+	var parts []string
+	flush := func() {
+		if len(parts) > 0 {
+			fmt.Fprintf(w, "  traffic[%s]: %s\n", scope, strings.Join(parts, " "))
+			parts = nil
+		}
+	}
+	for _, tr := range t.Traffic {
+		if tr.Scope != scope {
+			flush()
+			scope = tr.Scope
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d/%dB", tr.Method, tr.Messages, tr.Bytes))
+	}
+	flush()
 	fmt.Fprintln(w)
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"adhocshare/internal/dqp"
+	"adhocshare/internal/trace"
+	"adhocshare/internal/workload"
+)
+
+// TraceQuery builds the E9 deployment (the Fig. 4 dataset under the fixed
+// workload seed), attaches a trace buffer to its fabric and executes one
+// query under the given strategy. It returns the recorded spans in
+// canonical order along with the engine stats; identical Params and inputs
+// reproduce the spans byte for byte. The recorder attaches after
+// publication, so the trace covers the query alone (plus any background
+// ring traffic it overlaps, on the untraced lane).
+func TraceQuery(p Params, strategy dqp.Strategy, initiator, query string) ([]trace.Span, dqp.Stats, error) {
+	dep, err := fig4Deployment(p)
+	if err != nil {
+		return nil, dqp.Stats{}, err
+	}
+	buf := trace.NewBuffer()
+	dep.sys.Net().SetRecorder(buf)
+	_, stats, err := dep.runQuery(fig4Opts(strategy), initiator, query)
+	if err != nil {
+		return nil, dqp.Stats{}, err
+	}
+	return buf.Spans(), stats, nil
+}
+
+// fig4Deployment builds the E9 deployment: the Fig. 4 workload under the
+// fixed seed, published over 8 index nodes.
+func fig4Deployment(p Params) (*deployment, error) {
+	d := workload.Generate(workload.Config{
+		Persons: 200, Providers: 10, AvgKnows: 4, ZipfS: 1.2,
+		KnowsNothingFraction: 0.4, Seed: p.seed(77),
+	})
+	return buildDeployment(p, 8, d)
+}
+
+// fig4Opts is the fully-optimized engine configuration the demo traces
+// run under, varying only the per-pattern strategy.
+func fig4Opts(strategy dqp.Strategy) dqp.Options {
+	return dqp.Options{
+		Strategy: strategy, Conjunction: dqp.ConjPipeline,
+		JoinSite: dqp.JoinSiteMoveSmall, PushFilters: true, ReorderJoins: true,
+	}
+}
+
+// TraceFig4 is TraceQuery over the paper's Fig. 4 query from the standard
+// initiator — the fixed-seed demo trace behind `sparql-explain -trace` and
+// the exporter golden tests.
+func TraceFig4(p Params, strategy dqp.Strategy) ([]trace.Span, dqp.Stats, error) {
+	return TraceQuery(p, strategy, "D00", workload.QueryFig4("Smith"))
+}

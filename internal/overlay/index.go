@@ -118,7 +118,7 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 					continue
 				}
 				_, done, err := n.net.Call(n.addr, succ.Addr, MethodDropNode,
-					DropNodeReq{Node: r.Node}, now)
+					DropNodeReq{Node: r.Node, TC: r.TC.Child(uint64(sent + 1))}, now)
 				now = done
 				if err == nil {
 					sent++

@@ -6,6 +6,7 @@ import (
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/trace"
 )
 
 // RPC method names. The "index." prefix marks two-level-index traffic, the
@@ -49,7 +50,11 @@ type PutBatchReq struct {
 	Node     simnet.Addr
 	Entries  []KeyFreq
 	Absolute bool
+	TC       trace.TraceContext
 }
+
+// TraceCtx implements trace.Carrier.
+func (r PutBatchReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // KeyFreq is one (key, frequency-delta) pair of a batch.
 type KeyFreq struct {
@@ -59,16 +64,20 @@ type KeyFreq struct {
 
 // SizeBytes implements simnet.Payload. Each entry is one (ID, int) pair.
 func (r PutBatchReq) SizeBytes() int {
-	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute)
+	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute) + r.TC.SizeBytes()
 }
 
 // LookupReq reads the location-table row for a key.
 type LookupReq struct {
 	Key chord.ID
+	TC  trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r LookupReq) SizeBytes() int { return r.Key.SizeBytes() }
+func (r LookupReq) SizeBytes() int { return r.Key.SizeBytes() + r.TC.SizeBytes() }
+
+// TraceCtx implements trace.Carrier.
+func (r LookupReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // PostingsResp carries a location-table row.
 type PostingsResp struct {
@@ -118,10 +127,16 @@ func (t TableRows) SizeBytes() int {
 type DropNodeReq struct {
 	Node      simnet.Addr
 	Propagate bool
+	TC        trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r DropNodeReq) SizeBytes() int { return len(r.Node) + boolWidth(r.Propagate) }
+func (r DropNodeReq) SizeBytes() int {
+	return len(r.Node) + boolWidth(r.Propagate) + r.TC.SizeBytes()
+}
+
+// TraceCtx implements trace.Carrier.
+func (r DropNodeReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // MatchReq asks a storage node to match a pattern conjunction against its
 // local repository, joined with the accumulated partial solutions (the
@@ -143,11 +158,16 @@ type MatchReq struct {
 	// patterns (nil with a non-nil Dataset = none; nil with nil Dataset =
 	// every named graph the provider shares).
 	FromNamed []string
+	// TC carries trace causality (wire-immutable, zero modeled bytes).
+	TC trace.TraceContext
 }
+
+// TraceCtx implements trace.Carrier.
+func (r MatchReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // SizeBytes implements simnet.Payload.
 func (r MatchReq) SizeBytes() int {
-	n := 8
+	n := 8 + r.TC.SizeBytes()
 	for _, p := range r.Patterns {
 		n += p.SizeBytes()
 	}
@@ -170,10 +190,14 @@ func (r MatchReq) SizeBytes() int {
 // SolutionsResp carries a solution multiset between nodes.
 type SolutionsResp struct {
 	Sols eval.Solutions
+	TC   trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r SolutionsResp) SizeBytes() int { return r.Sols.SizeBytes() }
+func (r SolutionsResp) SizeBytes() int { return r.Sols.SizeBytes() + r.TC.SizeBytes() }
+
+// TraceCtx implements trace.Carrier.
+func (r SolutionsResp) TraceCtx() trace.TraceContext { return r.TC }
 
 // CountReq asks a storage node how many triples match a pattern.
 type CountReq struct {

@@ -8,6 +8,7 @@ import (
 	"adhocshare/internal/chord"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
+	"adhocshare/internal/trace"
 )
 
 // Config parameterizes a hybrid overlay deployment.
@@ -57,6 +58,9 @@ type System struct {
 	// maintenance or membership changes may have moved key ownership, and
 	// bounds the validity of the storage nodes' successor-owner caches.
 	epoch uint64
+	// traceSeq allocates deterministic trace identifiers: operations issued
+	// in the same order get the same IDs, so seeded runs trace identically.
+	traceSeq uint64
 }
 
 // NewSystem creates an empty deployment.
@@ -73,6 +77,39 @@ func NewSystem(cfg Config) *System {
 // Net exposes the underlying simulated network (for metrics and failure
 // injection).
 func (s *System) Net() *simnet.Network { return s.net }
+
+// NextTraceID allocates the identifier of a new trace (a query or a system
+// operation). IDs come from a per-deployment counter, not a clock, so a
+// seeded run always numbers its traces identically.
+func (s *System) NextTraceID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traceSeq++
+	return s.traceSeq
+}
+
+// traceOp opens a trace for one system-level operation when a recorder is
+// attached. It returns the root context to thread through the operation's
+// messages and a finish hook recording the op span over the charged
+// interval; with tracing disabled both are zero and nothing allocates.
+func (s *System) traceOp(name string, node simnet.Addr) (trace.TraceContext, func(start, end simnet.VTime)) {
+	rec := s.net.Recorder()
+	if rec == nil {
+		return trace.TraceContext{}, nil
+	}
+	tc := trace.Root(s.NextTraceID())
+	return tc, func(start, end simnet.VTime) {
+		rec.Record(trace.Span{
+			Query: tc.Query,
+			ID:    tc.Span,
+			Kind:  trace.KindOp,
+			Name:  name,
+			From:  string(node),
+			Start: int64(start),
+			End:   int64(end),
+		})
+	}
+}
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -92,11 +129,14 @@ func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTi
 		s.mu.Unlock()
 		return nil, at, fmt.Errorf("overlay: index node %s already exists", addr)
 	}
+	// The bootstrap choice must be deterministic (smallest live address):
+	// it decides where the join's find_successor walk starts, so a
+	// map-order pick would make join latency — and with it every VTime
+	// downstream of the join — vary between same-seed runs.
 	var bootstrap simnet.Addr
 	for a := range s.index {
-		if s.net.Alive(a) {
+		if s.net.Alive(a) && (bootstrap == "" || a < bootstrap) {
 			bootstrap = a
-			break
 		}
 	}
 	n := NewIndexNode(s.net, addr, id, chord.Config{Bits: s.cfg.Bits, SuccListSize: s.cfg.SuccListSize}, s.cfg.Replication)
@@ -176,7 +216,12 @@ func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 		}
 	}
 	node.InvalidateViews()
-	return s.installPostings(node, freq, at)
+	tc, finish := s.traceOp("overlay.publish", storage)
+	done, err := s.installPostings(node, freq, tc, at)
+	if finish != nil {
+		finish(at, done)
+	}
+	return done, err
 }
 
 // PublishGraph adds triples to one of the storage node's *named* graphs
@@ -201,7 +246,12 @@ func (s *System) PublishGraph(storage simnet.Addr, graphIRI string, triples []rd
 		}
 	}
 	node.InvalidateViews()
-	return s.installPostings(node, freq, at)
+	tc, finish := s.traceOp("overlay.publish_graph", storage)
+	done, err := s.installPostings(node, freq, tc, at)
+	if finish != nil {
+		finish(at, done)
+	}
+	return done, err
 }
 
 // Retract removes triples from the storage node and decrements the index
@@ -223,7 +273,12 @@ func (s *System) Retract(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 		}
 	}
 	node.InvalidateViews()
-	return s.installPostings(node, freq, at)
+	tc, finish := s.traceOp("overlay.retract", storage)
+	done, err := s.installPostings(node, freq, tc, at)
+	if finish != nil {
+		finish(at, done)
+	}
+	return done, err
 }
 
 // Republish reinstalls the index postings for everything the storage node
@@ -249,13 +304,18 @@ func (s *System) Republish(storage simnet.Addr, at simnet.VTime) (simnet.VTime, 
 	for _, name := range node.GraphNames() {
 		count(node.NamedGraph(name))
 	}
-	return s.installPostingsMode(node, freq, true, at)
+	tc, finish := s.traceOp("overlay.republish", storage)
+	done, err := s.installPostingsMode(node, freq, true, tc, at)
+	if finish != nil {
+		finish(at, done)
+	}
+	return done, err
 }
 
 // installPostings resolves the responsible index node for every key (via
 // the storage node's attachment point) and ships one batch per index node.
-func (s *System) installPostings(node *StorageNode, freq map[chord.ID]int, at simnet.VTime) (simnet.VTime, error) {
-	return s.installPostingsMode(node, freq, false, at)
+func (s *System) installPostings(node *StorageNode, freq map[chord.ID]int, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
+	return s.installPostingsMode(node, freq, false, tc, at)
 }
 
 // reattachIfNeeded re-homes a storage node whose attachment index node is
@@ -276,7 +336,7 @@ func (s *System) reattachIfNeeded(node *StorageNode) error {
 	return nil
 }
 
-func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
+func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, absolute bool, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
 	if err := s.reattachIfNeeded(node); err != nil {
 		return at, err
 	}
@@ -290,20 +350,20 @@ func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, a
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	if s.cfg.SerialPublish {
-		return s.installPostingsSerial(node, keys, freq, absolute, at)
+		return s.installPostingsSerial(node, keys, freq, absolute, tc, at)
 	}
-	return s.installPostingsParallel(node, keys, freq, absolute, at)
+	return s.installPostingsParallel(node, keys, freq, absolute, tc, at)
 }
 
 // installPostingsSerial is the legacy pipeline: keys resolved one blocking
 // FindSuccessor at a time, then one PutBatch per owner, each waiting for
 // the previous — the ingest critical path grows linearly with key count.
-func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
+func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
 	batches := map[simnet.Addr][]KeyFreq{}
 	now := at
-	for _, key := range keys {
+	for ki, key := range keys {
 		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessor,
-			chord.FindReq{Target: key}, now)
+			chord.FindReq{Target: key, TC: tc.Child(uint64(ki))}, now)
 		now = done
 		if err != nil {
 			return now, fmt.Errorf("overlay: resolve key %v: %w", key, err)
@@ -312,9 +372,12 @@ func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq 
 		batches[owner] = append(batches[owner], KeyFreq{Key: key, Freq: freq[key]})
 	}
 	owners := sortedOwners(batches)
-	for _, owner := range owners {
+	for oi, owner := range owners {
+		// Shipment sequence numbers start past the key indexes so resolve
+		// and ship children never collide.
 		_, done, err := s.net.Call(node.addr, owner, MethodPutBatch,
-			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute}, now)
+			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
+				TC: tc.Child(uint64(len(keys) + oi))}, now)
 		now = done
 		if err != nil {
 			return now, fmt.Errorf("overlay: install postings at %s: %w", owner, err)
@@ -330,7 +393,7 @@ func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq 
 // virtual completion time is the critical path — resolution, then the max
 // over the owner shipments — per the DESIGN §5 rule; batches whose keys
 // were all cache hits ship immediately at `at`.
-func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, at simnet.VTime) (simnet.VTime, error) {
+func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
 	epoch := s.Epoch()
 	owners := make(map[chord.ID]simnet.Addr, len(keys))
 	viaRing := make(map[chord.ID]bool, len(keys))
@@ -345,7 +408,7 @@ func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, fre
 	resolveDone := at
 	if len(unresolved) > 0 {
 		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessorBatch,
-			chord.BatchFindReq{Targets: unresolved}, at)
+			chord.BatchFindReq{Targets: unresolved, TC: tc.Child(0)}, at)
 		if err != nil {
 			return done, fmt.Errorf("overlay: resolve %d keys: %w", len(unresolved), err)
 		}
@@ -373,9 +436,12 @@ func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, fre
 	}
 	ownerList := sortedOwners(batches)
 	results, done := simnet.Parallel(len(ownerList), 0, func(i int) (simnet.Payload, simnet.VTime, error) {
+		// Branch-index-derived contexts (seq 0 is the batch resolve above)
+		// keep span identifiers deterministic under concurrent fan-out.
 		owner := ownerList[i]
 		return s.net.Call(node.addr, owner, MethodPutBatch,
-			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute}, starts[owner])
+			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
+				TC: tc.Child(uint64(i + 1))}, starts[owner])
 	})
 	done = simnet.MaxTime(at, resolveDone, done)
 	for i, r := range results {
@@ -400,12 +466,18 @@ func sortedOwners(batches map[simnet.Addr][]KeyFreq) []simnet.Addr {
 // themselves). It returns the owner address, the Chord hop count and the
 // virtual completion time.
 func (s *System) ResolveKey(from simnet.Addr, key chord.ID, at simnet.VTime) (simnet.Addr, int, simnet.VTime, error) {
+	return s.ResolveKeyTraced(from, key, trace.TraceContext{}, at)
+}
+
+// ResolveKeyTraced is ResolveKey with the lookup's messages attributed to
+// a trace: tc is the context of the FindSuccessor request itself.
+func (s *System) ResolveKeyTraced(from simnet.Addr, key chord.ID, tc trace.TraceContext, at simnet.VTime) (simnet.Addr, int, simnet.VTime, error) {
 	entry := s.entryFor(from)
 	if entry == "" {
 		return "", 0, at, fmt.Errorf("overlay: node %s has no ring entry point", from)
 	}
 	resp, done, err := s.net.Call(from, entry, chord.MethodFindSuccessor,
-		chord.FindReq{Target: key}, at)
+		chord.FindReq{Target: key, TC: tc}, at)
 	if err != nil {
 		return "", 0, done, err
 	}
@@ -441,12 +513,15 @@ func (s *System) entryFor(from simnet.Addr) simnet.Addr {
 		}
 		return ""
 	}
+	// External initiators enter at the smallest live index address — any
+	// live member works, but the pick must not depend on map order.
+	var entry simnet.Addr
 	for a := range s.index {
-		if s.net.Alive(a) {
-			return a
+		if s.net.Alive(a) && (entry == "" || a < entry) {
+			entry = a
 		}
 	}
-	return ""
+	return entry
 }
 
 func (s *System) anyIndexAddr() simnet.Addr {

@@ -22,6 +22,7 @@ import (
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/trace"
 )
 
 // RPC method names ("rdfpeers." prefix for traffic attribution).
@@ -37,18 +38,26 @@ const (
 // StoreReq ships one triple for storage at a ring node.
 type StoreReq struct {
 	Triple rdf.Triple
+	TC     trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r StoreReq) SizeBytes() int { return r.Triple.SizeBytes() }
+func (r StoreReq) SizeBytes() int { return r.Triple.SizeBytes() + r.TC.SizeBytes() }
+
+// TraceCtx implements trace.Carrier.
+func (r StoreReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // MatchReq asks a ring node to match a pattern against its local store.
 type MatchReq struct {
 	Pattern rdf.Triple
+	TC      trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r MatchReq) SizeBytes() int { return r.Pattern.SizeBytes() }
+func (r MatchReq) SizeBytes() int { return r.Pattern.SizeBytes() + r.TC.SizeBytes() }
+
+// TraceCtx implements trace.Carrier.
+func (r MatchReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // SolutionsResp returns solution mappings.
 type SolutionsResp struct {
@@ -63,11 +72,15 @@ func (r SolutionsResp) SizeBytes() int { return r.Sols.SizeBytes() }
 type IntersectReq struct {
 	Pattern    rdf.Triple
 	Candidates []rdf.Term
+	TC         trace.TraceContext
 }
+
+// TraceCtx implements trace.Carrier.
+func (r IntersectReq) TraceCtx() trace.TraceContext { return r.TC }
 
 // SizeBytes implements simnet.Payload.
 func (r IntersectReq) SizeBytes() int {
-	n := r.Pattern.SizeBytes()
+	n := r.Pattern.SizeBytes() + r.TC.SizeBytes()
 	for _, t := range r.Candidates {
 		n += t.SizeBytes()
 	}
@@ -171,6 +184,31 @@ type System struct {
 	bits     uint
 	nodes    map[simnet.Addr]*Node
 	numRange NumericRange
+	// traceSeq allocates deterministic trace identifiers; the system is
+	// driven single-threaded, so a plain counter suffices.
+	traceSeq uint64
+}
+
+// traceOp opens a trace for one RDFPeers operation when a recorder is
+// attached to the network; see overlay.System.traceOp.
+func (s *System) traceOp(name string, node simnet.Addr) (trace.TraceContext, func(start, end simnet.VTime)) {
+	rec := s.net.Recorder()
+	if rec == nil {
+		return trace.TraceContext{}, nil
+	}
+	s.traceSeq++
+	tc := trace.Root(s.traceSeq)
+	return tc, func(start, end simnet.VTime) {
+		rec.Record(trace.Span{
+			Query: tc.Query,
+			ID:    tc.Span,
+			Kind:  trace.KindOp,
+			Name:  name,
+			From:  string(node),
+			Start: int64(start),
+			End:   int64(end),
+		})
+	}
 }
 
 // NewSystem creates an empty RDFPeers ring over a fresh simulated network
@@ -253,17 +291,22 @@ func (s *System) Store(from simnet.Addr, t rdf.Triple, at simnet.VTime) (simnet.
 	if k, ok := s.rangeKey(t); ok {
 		keys = append(keys, k)
 	}
-	for _, key := range keys {
-		owner, _, done, err := s.resolve(from, key, now)
+	tc, finish := s.traceOp("rdfpeers.store_op", from)
+	for ki, key := range keys {
+		owner, _, done, err := s.resolveTraced(from, key, tc.Child(uint64(2*ki)), now)
 		now = done
 		if err != nil {
 			return now, err
 		}
-		_, done, err = s.net.Call(from, owner, MethodStore, StoreReq{Triple: t}, now)
+		_, done, err = s.net.Call(from, owner, MethodStore,
+			StoreReq{Triple: t, TC: tc.Child(uint64(2*ki + 1))}, now)
 		now = done
 		if err != nil {
 			return now, err
 		}
+	}
+	if finish != nil {
+		finish(at, now)
 	}
 	return now, nil
 }
@@ -282,6 +325,10 @@ func (s *System) StoreAll(from simnet.Addr, ts []rdf.Triple, at simnet.VTime) (s
 }
 
 func (s *System) resolve(from simnet.Addr, key chord.ID, at simnet.VTime) (simnet.Addr, int, simnet.VTime, error) {
+	return s.resolveTraced(from, key, trace.TraceContext{}, at)
+}
+
+func (s *System) resolveTraced(from simnet.Addr, key chord.ID, tc trace.TraceContext, at simnet.VTime) (simnet.Addr, int, simnet.VTime, error) {
 	entry := from
 	if _, ok := s.nodes[from]; !ok {
 		for a := range s.nodes {
@@ -290,7 +337,7 @@ func (s *System) resolve(from simnet.Addr, key chord.ID, at simnet.VTime) (simne
 		}
 	}
 	resp, done, err := s.net.Call(from, entry, chord.MethodFindSuccessor,
-		chord.FindReq{Target: key}, at)
+		chord.FindReq{Target: key, TC: tc}, at)
 	if err != nil {
 		return "", 0, done, err
 	}
@@ -317,30 +364,46 @@ func (s *System) patternKey(pat rdf.Triple) (chord.ID, bool) {
 // QueryPattern resolves a single triple pattern: route to the responsible
 // node by the most selective bound attribute and match there.
 func (s *System) QueryPattern(from simnet.Addr, pat rdf.Triple, at simnet.VTime) (eval.Solutions, simnet.VTime, error) {
+	tc, finishOp := s.traceOp("rdfpeers.query", from)
 	key, ok := s.patternKey(pat)
 	if !ok {
 		// flood all nodes and union (deduplicating: triples are stored at
 		// three places, so unconstrained scans see copies)
+		// Sorted fan-out keeps branch-derived span identifiers (and
+		// accounting order) deterministic.
+		addrs := make([]simnet.Addr, 0, len(s.nodes))
+		for a := range s.nodes {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 		var acc eval.Solutions
 		now := at
 		finish := at
-		for a := range s.nodes {
-			resp, done, err := s.net.Call(from, a, MethodMatch, MatchReq{Pattern: pat}, now)
+		for fi, a := range addrs {
+			resp, done, err := s.net.Call(from, a, MethodMatch,
+				MatchReq{Pattern: pat, TC: tc.Child(uint64(fi))}, now)
 			if err != nil {
 				continue
 			}
 			acc = eval.Union(acc, resp.(SolutionsResp).Sols)
 			finish = simnet.MaxTime(finish, done)
 		}
+		if finishOp != nil {
+			finishOp(at, finish)
+		}
 		return eval.Distinct(acc), finish, nil
 	}
-	owner, _, now, err := s.resolve(from, key, at)
+	owner, _, now, err := s.resolveTraced(from, key, tc.Child(1), at)
 	if err != nil {
 		return nil, now, err
 	}
-	resp, now, err := s.net.Call(from, owner, MethodMatch, MatchReq{Pattern: pat}, now)
+	resp, now, err := s.net.Call(from, owner, MethodMatch,
+		MatchReq{Pattern: pat, TC: tc.Child(0)}, now)
 	if err != nil {
 		return nil, now, err
+	}
+	if finishOp != nil {
+		finishOp(at, now)
 	}
 	return eval.Distinct(resp.(SolutionsResp).Sols), now, nil
 }
@@ -359,17 +422,22 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 			return nil, at, fmt.Errorf("rdfpeers: conjunctive queries require (?%s, p, o) patterns, got %v", subjectVar, p)
 		}
 	}
+	tc, finishOp := s.traceOp("rdfpeers.query", from)
 	var candidates []rdf.Term
 	now := at
 	prev := from
+	// Hop contexts chain: each intersection hop derives from the previous
+	// one, mirroring the recursive MAQ forwarding.
+	linkTC := tc
 	for i, pat := range patterns {
 		key, _ := s.patternKey(pat) // object is bound → object key
-		owner, _, done, err := s.resolve(prev, key, now)
+		owner, _, done, err := s.resolveTraced(prev, key, linkTC.Child(0), now)
 		now = done
 		if err != nil {
 			return nil, now, err
 		}
-		req := IntersectReq{Pattern: pat, Candidates: candidates}
+		hopTC := linkTC.Child(1)
+		req := IntersectReq{Pattern: pat, Candidates: candidates, TC: hopTC}
 		if i == 0 {
 			req.Candidates = nil
 		}
@@ -383,11 +451,15 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 			return nil, now, nil
 		}
 		prev = owner
+		linkTC = hopTC
 	}
 	// ship the final candidates back to the initiator
 	done, err := s.net.Transfer(prev, from, MethodResult, TermsResp{Terms: candidates}, now)
 	if err != nil {
 		return nil, done, err
+	}
+	if finishOp != nil {
+		finishOp(at, done)
 	}
 	return candidates, done, nil
 }

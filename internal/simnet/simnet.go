@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"adhocshare/internal/trace"
 )
 
 // Addr identifies a node on the simulated network.
@@ -110,6 +112,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Message directions used as keys of Snapshot.PerDirection. A Call is two
+// accounted messages (request + response); Send and Transfer are one each.
+const (
+	DirRequest  = "req"
+	DirResponse = "resp"
+	DirOneWay   = "send"
+	DirTransfer = "transfer"
+)
+
 // Network is the simulated network fabric. It is safe for concurrent use.
 type Network struct {
 	cfg Config
@@ -117,6 +128,12 @@ type Network struct {
 	// metrics carries its own lock and sits above mu: traffic accounting
 	// must never serialize behind the membership lock.
 	metrics metrics
+
+	// recMu guards rec, the optional span recorder. Nil means tracing is
+	// disabled; the fabric reads it once per operation and skips all span
+	// construction on the disabled path.
+	recMu sync.RWMutex
+	rec   trace.Recorder
 
 	mu     sync.RWMutex
 	nodes  map[Addr]Handler
@@ -134,6 +151,7 @@ type metrics struct {
 	messages  int64
 	bytes     int64
 	perMethod map[string]*MethodStats
+	perDir    map[string]map[string]*MethodStats
 }
 
 // MethodStats aggregates traffic for one RPC method.
@@ -151,14 +169,20 @@ type Snapshot struct {
 	Bytes int64
 	// PerMethod breaks traffic down by RPC method name.
 	PerMethod map[string]MethodStats
+	// PerDirection further splits each method's traffic by message
+	// direction (DirRequest, DirResponse, DirOneWay, DirTransfer):
+	// direction → method → stats. The per-method totals equal the sum
+	// over directions.
+	PerDirection map[string]map[string]MethodStats
 }
 
 // Sub returns the delta s − earlier, for scoping counters to one query.
 func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	out := Snapshot{
-		Messages:  s.Messages - earlier.Messages,
-		Bytes:     s.Bytes - earlier.Bytes,
-		PerMethod: map[string]MethodStats{},
+		Messages:     s.Messages - earlier.Messages,
+		Bytes:        s.Bytes - earlier.Bytes,
+		PerMethod:    map[string]MethodStats{},
+		PerDirection: map[string]map[string]MethodStats{},
 	}
 	for k, v := range s.PerMethod {
 		d := MethodStats{
@@ -169,6 +193,20 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 			out.PerMethod[k] = d
 		}
 	}
+	for dir, methods := range s.PerDirection {
+		for k, v := range methods {
+			d := MethodStats{
+				Messages: v.Messages - earlier.PerDirection[dir][k].Messages,
+				Bytes:    v.Bytes - earlier.PerDirection[dir][k].Bytes,
+			}
+			if d.Messages != 0 || d.Bytes != 0 {
+				if out.PerDirection[dir] == nil {
+					out.PerDirection[dir] = map[string]MethodStats{}
+				}
+				out.PerDirection[dir][k] = d
+			}
+		}
+	}
 	return out
 }
 
@@ -176,6 +214,16 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 func (s Snapshot) Methods() []string {
 	out := make([]string, 0, len(s.PerMethod))
 	for k := range s.PerMethod {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Directions lists the direction keys present in the snapshot, sorted.
+func (s Snapshot) Directions() []string {
+	out := make([]string, 0, len(s.PerDirection))
+	for k := range s.PerDirection {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -194,6 +242,22 @@ func New(cfg Config) *Network {
 
 // Config returns the effective cost-model configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetRecorder attaches (or, with nil, detaches) a span recorder. Tracing
+// is strictly observational: it never changes accounted messages, bytes,
+// or virtual times, and the disabled path allocates nothing.
+func (n *Network) SetRecorder(r trace.Recorder) {
+	n.recMu.Lock()
+	n.rec = r
+	n.recMu.Unlock()
+}
+
+// Recorder returns the currently attached span recorder (nil = disabled).
+func (n *Network) Recorder() trace.Recorder {
+	n.recMu.RLock()
+	defer n.recMu.RUnlock()
+	return n.rec
+}
 
 // Register attaches a handler at the given address, replacing any previous
 // registration and clearing a failure mark.
@@ -314,22 +378,38 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 	if !ok {
 		return nil, at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
+	rec := n.Recorder()
 	reqSize := payloadSize(req)
-	n.account(method, reqSize)
+	n.account(method, DirRequest, reqSize)
 	if failed {
 		// The request is sent (and counted) but never answered.
-		return nil, at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "unreachable")
+		}
+		return nil, lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	arrive := at.Add(n.transferDelay(from, to, reqSize))
+	if rec != nil {
+		n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, arrive, "")
+	}
 	resp, done, err := h.HandleCall(arrive, method, req)
 	if err != nil {
 		// Error responses travel back as a small control message.
-		n.account(method, 0)
-		return nil, done.Add(n.transferDelay(to, from, 16)), err
+		n.account(method, DirResponse, 0)
+		back := done.Add(n.transferDelay(to, from, 16))
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, 0, done, back, "error")
+		}
+		return nil, back, err
 	}
 	respSize := payloadSize(resp)
-	n.account(method, respSize)
-	return resp, done.Add(n.transferDelay(to, from, respSize)), nil
+	n.account(method, DirResponse, respSize)
+	back := done.Add(n.transferDelay(to, from, respSize))
+	if rec != nil {
+		n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, respSize, done, back, "")
+	}
+	return resp, back, nil
 }
 
 // Send performs a one-way simulated message: it is accounted once and the
@@ -351,12 +431,20 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 	if !ok {
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
+	rec := n.Recorder()
 	size := payloadSize(req)
-	n.account(method, size)
+	n.account(method, DirOneWay, size)
 	if failed {
-		return at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "unreachable")
+		}
+		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	arrive := at.Add(n.transferDelay(from, to, size))
+	if rec != nil {
+		n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, arrive, "")
+	}
 	_, done, err := h.HandleCall(arrive, method, req)
 	return done, err
 }
@@ -382,12 +470,21 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 	if !ok {
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
+	rec := n.Recorder()
 	size := payloadSize(payload)
-	n.account(method, size)
+	n.account(method, DirTransfer, size)
 	if failed {
-		return at.Add(n.cfg.FailTimeout), fmt.Errorf("%w: %s", ErrUnreachable, to)
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "unreachable")
+		}
+		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	return at.Add(n.transferDelay(from, to, size)), nil
+	arrive := at.Add(n.transferDelay(from, to, size))
+	if rec != nil {
+		n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, arrive, "")
+	}
+	return arrive, nil
 }
 
 func payloadSize(p Payload) int {
@@ -397,7 +494,26 @@ func payloadSize(p Payload) int {
 	return p.SizeBytes()
 }
 
-func (n *Network) account(method string, size int) {
+// recordMsg emits one message span. The span's identity comes from the
+// payload's TraceContext (zero context → the untraced query-0 lane), its
+// interval from the charged virtual times, never from wall clocks.
+func (n *Network) recordMsg(rec trace.Recorder, tc trace.TraceContext, method string, from, to Addr, size int, start, end VTime, note string) {
+	rec.Record(trace.Span{
+		Query:  tc.Query,
+		ID:     tc.Span,
+		Parent: tc.Parent,
+		Kind:   trace.KindMessage,
+		Name:   method,
+		From:   string(from),
+		To:     string(to),
+		Start:  int64(start),
+		End:    int64(end),
+		Bytes:  size,
+		Note:   note,
+	})
+}
+
+func (n *Network) account(method, dir string, size int) {
 	m := &n.metrics
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -413,6 +529,21 @@ func (n *Network) account(method string, size int) {
 	}
 	st.Messages++
 	st.Bytes += int64(size)
+	if m.perDir == nil {
+		m.perDir = map[string]map[string]*MethodStats{}
+	}
+	dm, ok := m.perDir[dir]
+	if !ok {
+		dm = map[string]*MethodStats{}
+		m.perDir[dir] = dm
+	}
+	ds, ok := dm[method]
+	if !ok {
+		ds = &MethodStats{}
+		dm[method] = ds
+	}
+	ds.Messages++
+	ds.Bytes += int64(size)
 }
 
 // Metrics returns a snapshot of the traffic counters.
@@ -421,17 +552,25 @@ func (n *Network) Metrics() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := Snapshot{
-		Messages:  m.messages,
-		Bytes:     m.bytes,
-		PerMethod: make(map[string]MethodStats, len(m.perMethod)),
+		Messages:     m.messages,
+		Bytes:        m.bytes,
+		PerMethod:    make(map[string]MethodStats, len(m.perMethod)),
+		PerDirection: make(map[string]map[string]MethodStats, len(m.perDir)),
 	}
 	for k, v := range m.perMethod {
 		out.PerMethod[k] = *v
 	}
+	for dir, methods := range m.perDir {
+		dm := make(map[string]MethodStats, len(methods))
+		for k, v := range methods {
+			dm[k] = *v
+		}
+		out.PerDirection[dir] = dm
+	}
 	return out
 }
 
-// ResetMetrics zeroes all counters.
+// ResetMetrics zeroes all counters, including the per-direction maps.
 func (n *Network) ResetMetrics() {
 	m := &n.metrics
 	m.mu.Lock()
@@ -439,4 +578,5 @@ func (n *Network) ResetMetrics() {
 	m.messages = 0
 	m.bytes = 0
 	m.perMethod = map[string]*MethodStats{}
+	m.perDir = map[string]map[string]*MethodStats{}
 }

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the spans of a run rendered as "complete"
+// (ph "X") events loadable in chrome://tracing or Perfetto. Each trace
+// (query / system op) becomes one process, each node one thread within
+// it, so a distributed query reads as lanes per node with causal nesting
+// visible through timing. Virtual nanoseconds map to trace microseconds.
+
+// chromeEvent is one trace_event object. Field order is part of the
+// golden-file contract.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders spans as one indented Chrome trace_event JSON
+// document. Spans must already be in canonical order (Buffer.Spans);
+// given equal input the output is byte-identical.
+func WriteChrome(w io.Writer, spans []Span) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	// Stable pid per trace (1-based, by ascending query id) and tid per
+	// node within a trace (1-based, by node name).
+	queries := []uint64{}
+	seenQ := map[uint64]bool{}
+	nodesOf := map[uint64]map[string]bool{}
+	for _, s := range spans {
+		if !seenQ[s.Query] {
+			seenQ[s.Query] = true
+			queries = append(queries, s.Query)
+			nodesOf[s.Query] = map[string]bool{}
+		}
+		nodesOf[s.Query][laneOf(s)] = true
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+	pidOf := map[uint64]int{}
+	tidOf := map[uint64]map[string]int{}
+	for qi, q := range queries {
+		pid := qi + 1
+		pidOf[q] = pid
+		names := make([]string, 0, len(nodesOf[q]))
+		for n := range nodesOf[q] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tids := map[string]int{}
+		label := "trace"
+		if q == 0 {
+			label = "untraced fabric traffic"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid,
+			Args: map[string]any{"name": label},
+		})
+		for ti, n := range names {
+			tids[n] = ti + 1
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: pid, Tid: ti + 1,
+				Args: map[string]any{"name": n},
+			})
+		}
+		tidOf[q] = tids
+	}
+
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name:  s.Name,
+			Cat:   s.Kind,
+			Phase: "X",
+			Pid:   pidOf[s.Query],
+			Tid:   tidOf[s.Query][laneOf(s)],
+			Ts:    float64(s.Start) / 1e3,
+			Dur:   float64(s.End-s.Start) / 1e3,
+			Args:  map[string]any{},
+		}
+		if s.From != "" {
+			ev.Args["from"] = s.From
+		}
+		if s.To != "" {
+			ev.Args["to"] = s.To
+		}
+		if s.Kind == KindMessage {
+			ev.Args["bytes"] = s.Bytes
+		}
+		if s.Note != "" {
+			ev.Args["note"] = s.Note
+		}
+		if len(ev.Args) == 0 {
+			ev.Args = nil
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// laneOf picks the thread lane a span renders in: the sending (or acting)
+// node.
+func laneOf(s Span) string {
+	if s.From != "" {
+		return s.From
+	}
+	return "(system)"
+}

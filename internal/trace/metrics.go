@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// LatencyBuckets are the upper bounds (virtual nanoseconds, inclusive) of
+// the fixed exponential histogram used for per-method VTime latencies; a
+// final implicit +Inf bucket catches the rest. Fixed bounds keep the
+// snapshot shape — and therefore golden files — stable across runs.
+var LatencyBuckets = []int64{
+	1e6,   // 1ms
+	2e6,   // 2ms
+	5e6,   // 5ms
+	10e6,  // 10ms
+	20e6,  // 20ms
+	50e6,  // 50ms
+	100e6, // 100ms
+	200e6, // 200ms
+	500e6, // 500ms
+	1e9,   // 1s
+	2e9,   // 2s
+	5e9,   // 5s
+}
+
+// bucketOf returns the histogram slot of a latency (len(LatencyBuckets)
+// is the overflow slot).
+func bucketOf(d int64) int {
+	for i, ub := range LatencyBuckets {
+		if d <= ub {
+			return i
+		}
+	}
+	return len(LatencyBuckets)
+}
+
+// MetricsEntry aggregates one (node, method) cell: message count, bytes
+// and the VTime-latency histogram of the messages that node *sent*.
+type MetricsEntry struct {
+	Node    string
+	Method  string
+	Count   int64
+	Bytes   int64
+	Latency []int64 // len(LatencyBuckets)+1 bucket counts
+}
+
+// MetricsSnapshot is the deterministic point-in-time state of a Registry:
+// entries sorted by (node, method). Seeded runs produce byte-identical
+// snapshots, which the determinism tests enforce.
+type MetricsSnapshot struct {
+	Entries []MetricsEntry
+}
+
+// Get returns the entry of one (node, method) cell.
+func (s MetricsSnapshot) Get(node, method string) (MetricsEntry, bool) {
+	for _, e := range s.Entries {
+		if e.Node == node && e.Method == method {
+			return e, true
+		}
+	}
+	return MetricsEntry{}, false
+}
+
+// Registry aggregates per-node × per-method counters and VTime-latency
+// histograms from message spans. It implements Recorder, so it can be
+// attached to the fabric directly or combined with a Buffer via Tee.
+type Registry struct {
+	mu    sync.Mutex
+	cells map[[2]string]*MetricsEntry
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{cells: map[[2]string]*MetricsEntry{}}
+}
+
+// Record implements Recorder: message spans are aggregated under their
+// sending node; op spans are ignored.
+func (r *Registry) Record(s Span) {
+	if s.Kind != KindMessage {
+		return
+	}
+	key := [2]string{s.From, s.Name}
+	r.mu.Lock()
+	e, ok := r.cells[key]
+	if !ok {
+		e = &MetricsEntry{Node: s.From, Method: s.Name,
+			Latency: make([]int64, len(LatencyBuckets)+1)}
+		r.cells[key] = e
+	}
+	e.Count++
+	e.Bytes += int64(s.Bytes)
+	e.Latency[bucketOf(s.Duration())]++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the deterministic aggregate state.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	out := MetricsSnapshot{Entries: make([]MetricsEntry, 0, len(r.cells))}
+	for _, e := range r.cells {
+		c := *e
+		c.Latency = append([]int64(nil), e.Latency...)
+		out.Entries = append(out.Entries, c)
+	}
+	r.mu.Unlock()
+	sort.Slice(out.Entries, func(i, j int) bool {
+		if out.Entries[i].Node != out.Entries[j].Node {
+			return out.Entries[i].Node < out.Entries[j].Node
+		}
+		return out.Entries[i].Method < out.Entries[j].Method
+	})
+	return out
+}
+
+// Reset zeroes the registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.cells = map[[2]string]*MetricsEntry{}
+	r.mu.Unlock()
+}
+
+// BuildMetrics folds a span slice into a snapshot (the offline equivalent
+// of attaching a Registry).
+func BuildMetrics(spans []Span) MetricsSnapshot {
+	r := NewRegistry()
+	for _, s := range spans {
+		r.Record(s)
+	}
+	return r.Snapshot()
+}
+
+// tee fans spans out to several recorders.
+type tee []Recorder
+
+// Record implements Recorder.
+func (t tee) Record(s Span) {
+	for _, r := range t {
+		r.Record(s)
+	}
+}
+
+// Tee combines recorders: every span goes to each of them. Nil members
+// are skipped; Tee() of no live recorders returns nil (disabled).
+func Tee(rs ...Recorder) Recorder {
+	var live tee
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return live
+}

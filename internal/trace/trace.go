@@ -1,0 +1,247 @@
+// Package trace is the zero-overhead-when-disabled tracing substrate of
+// the simulated deployment. Spans are keyed to *virtual* time — the VTime
+// the simnet cost model charges — never wall time, so a seeded run always
+// produces byte-identical traces and the observability layer can be part
+// of regression evidence instead of noise.
+//
+// The package is a leaf: it deliberately imports nothing from the rest of
+// the repository (times are int64 nanoseconds, node addresses are plain
+// strings), so simnet itself can record message spans without an import
+// cycle. Causality crosses the wire as a TraceContext carried inside RPC
+// payloads; contexts contribute zero bytes to the modeled payload size
+// (tracing must not perturb the cost model) and child span identifiers
+// are *derived* — a deterministic hash of the parent span and a caller
+// chosen sequence number — never drawn from clocks or global counters,
+// which would break seeded reproducibility under concurrent fan-out.
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceContext identifies one span within one query (or system operation)
+// trace. It travels inside RPC payloads: the sender derives a child
+// context per outgoing message, the fabric records the message span under
+// Span/Parent, and the receiver parents any nested work on Span.
+type TraceContext struct {
+	// Query identifies the trace (one distributed query or one system
+	// operation). Zero means "not traced".
+	Query uint64
+	// Span is this message's (or operation's) span identifier.
+	Span uint64
+	// Parent is the span this one is causally nested under (zero = root).
+	Parent uint64
+}
+
+// SizeBytes implements the simnet payload-size contract with zero: trace
+// metadata travels out of band of the modeled cost, so enabling tracing
+// never changes message bytes, VTimes or routing decisions.
+func (TraceContext) SizeBytes() int { return 0 }
+
+// Valid reports whether the context belongs to an active trace.
+func (tc TraceContext) Valid() bool { return tc.Query != 0 }
+
+// ResponseSeq is the child sequence number reserved for the response leg
+// of a call; callers deriving request children must use smaller values.
+const ResponseSeq = ^uint64(0)
+
+// Child derives the deterministic context of the seq-th child of this
+// span. Sequence numbers must be deterministic themselves (loop indexes,
+// Parallel branch indexes, per-query counters) — never clocks or shared
+// atomics — and distinct per parent.
+func (tc TraceContext) Child(seq uint64) TraceContext {
+	return TraceContext{Query: tc.Query, Span: mix(tc.Span, seq), Parent: tc.Span}
+}
+
+// Root builds the root context of a new trace. The query identifier comes
+// from a deterministic per-deployment counter.
+func Root(query uint64) TraceContext {
+	return TraceContext{Query: query, Span: mix(query, 0x5eed)}
+}
+
+// mix is a splitmix64-style finalizer over the (parent, seq) pair: cheap,
+// allocation-free and well distributed, so derived span identifiers are
+// unique for all practical trace sizes.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 { // keep zero reserved for "no span"
+		z = 1
+	}
+	return z
+}
+
+// Span kinds.
+const (
+	// KindMessage is one payload transfer over the fabric (a call's
+	// request and response legs are two message spans).
+	KindMessage = "msg"
+	// KindOp is an engine- or overlay-level operation (a query, a pattern
+	// execution, a publication) grouping the messages it caused.
+	KindOp = "op"
+)
+
+// Span is one completed interval of virtual time. The simulator is
+// synchronous, so spans are recorded whole (no open/close halves).
+type Span struct {
+	// Query is the trace identifier (zero for untraced fabric traffic).
+	Query uint64
+	// ID and Parent link the span into the trace tree.
+	ID     uint64
+	Parent uint64
+	// Kind is KindMessage or KindOp.
+	Kind string
+	// Name is the RPC method (messages) or operation name (ops).
+	Name string
+	// From and To are node addresses; To is empty for local operations.
+	From string
+	To   string
+	// Start and End are virtual times in nanoseconds since the simulation
+	// epoch (End ≥ Start; for messages, departure and arrival).
+	Start int64
+	End   int64
+	// Bytes is the modeled payload size (messages only).
+	Bytes int
+	// Note carries a short human annotation (strategy, pattern, error).
+	Note string
+}
+
+// Duration returns the span's virtual extent in nanoseconds.
+func (s Span) Duration() int64 { return s.End - s.Start }
+
+// Recorder receives completed spans. A nil Recorder disables tracing; the
+// fabric and the engines check for nil once per operation and skip all
+// span construction on the disabled path.
+type Recorder interface {
+	Record(s Span)
+}
+
+// Buffer is the standard Recorder: it accumulates spans in memory and
+// exposes them in a canonical order. Safe for concurrent use (simnet
+// Parallel branches record concurrently).
+type Buffer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewBuffer creates an empty span buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Record implements Recorder.
+func (b *Buffer) Record(s Span) {
+	b.mu.Lock()
+	b.spans = append(b.spans, s)
+	b.mu.Unlock()
+}
+
+// Len reports the number of recorded spans.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spans)
+}
+
+// Reset discards all recorded spans.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	b.spans = nil
+	b.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in canonical order: sorted
+// by (Query, Start, End, ID, ...) with a total tie-break, so two runs
+// that recorded the same spans — in whatever goroutine interleaving —
+// always return byte-identical sequences.
+func (b *Buffer) Spans() []Span {
+	b.mu.Lock()
+	out := append([]Span(nil), b.spans...)
+	b.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// QuerySpans returns the canonical spans of one trace.
+func (b *Buffer) QuerySpans(query uint64) []Span {
+	var out []Span
+	for _, s := range b.Spans() {
+		if s.Query == query {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Queries lists the distinct non-zero trace identifiers present, sorted.
+func (b *Buffer) Queries() []uint64 {
+	seen := map[uint64]bool{}
+	b.mu.Lock()
+	for _, s := range b.spans {
+		if s.Query != 0 {
+			seen[s.Query] = true
+		}
+	}
+	b.mu.Unlock()
+	out := make([]uint64, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortSpans orders spans canonically (total order over every field, so
+// equal span multisets sort byte-identically).
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Note < b.Note
+	})
+}
+
+// Carrier is implemented by RPC payloads that carry a TraceContext. The
+// fabric extracts the context with CtxOf to attribute message spans.
+type Carrier interface {
+	TraceCtx() TraceContext
+}
+
+// CtxOf returns the trace context carried by a payload, or the zero
+// context. It never allocates, so the fabric can call it per message.
+func CtxOf(v any) TraceContext {
+	if c, ok := v.(Carrier); ok {
+		return c.TraceCtx()
+	}
+	return TraceContext{}
+}

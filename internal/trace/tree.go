@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteTree renders spans as an ASCII causality tree, one tree per trace:
+// children nest under their parent span, siblings order by start time.
+// Times print as virtual offsets since the trace root's start, so the
+// same query traced at different deployment ages renders identically.
+func WriteTree(w io.Writer, spans []Span) error {
+	byQuery := map[uint64][]Span{}
+	var queries []uint64
+	for _, s := range spans {
+		if _, ok := byQuery[s.Query]; !ok {
+			queries = append(queries, s.Query)
+		}
+		byQuery[s.Query] = append(byQuery[s.Query], s)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+	for qi, q := range queries {
+		if qi > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeQueryTree(w, q, qi+1, byQuery[q]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeQueryTree(w io.Writer, query uint64, ordinal int, spans []Span) error {
+	SortSpans(spans)
+	ids := map[uint64]bool{}
+	epoch := int64(0)
+	for i, s := range spans {
+		ids[s.ID] = true
+		if i == 0 || s.Start < epoch {
+			epoch = s.Start
+		}
+	}
+	children := map[uint64][]Span{}
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent != 0 && ids[s.Parent] && s.Parent != s.ID {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			// True roots and orphans (parent recorded elsewhere or dropped)
+			// both render at top level.
+			roots = append(roots, s)
+		}
+	}
+	label := fmt.Sprintf("trace %d", ordinal)
+	if query == 0 {
+		label = "untraced"
+	}
+	if _, err := fmt.Fprintf(w, "%s (%d spans)\n", label, len(spans)); err != nil {
+		return err
+	}
+	for i, r := range roots {
+		if err := writeSpanTree(w, r, children, epoch, "", i == len(roots)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanTree(w io.Writer, s Span, children map[uint64][]Span, epoch int64, prefix string, last bool) error {
+	branch, next := "├─ ", "│  "
+	if last {
+		branch, next = "└─ ", "   "
+	}
+	if _, err := fmt.Fprintf(w, "%s%s%s\n", prefix, branch, formatSpan(s, epoch)); err != nil {
+		return err
+	}
+	kids := children[s.ID]
+	for i, k := range kids {
+		if err := writeSpanTree(w, k, children, epoch, prefix+next, i == len(kids)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatSpan renders one line: kind, name, endpoints, size, the virtual
+// interval relative to the trace root and an optional note.
+func formatSpan(s Span, epoch int64) string {
+	ends := ""
+	switch {
+	case s.From != "" && s.To != "":
+		ends = fmt.Sprintf(" %s→%s", s.From, s.To)
+	case s.From != "":
+		ends = " @" + s.From
+	}
+	size := ""
+	if s.Kind == KindMessage {
+		size = fmt.Sprintf(" %dB", s.Bytes)
+	}
+	note := ""
+	if s.Note != "" {
+		note = " · " + s.Note
+	}
+	return fmt.Sprintf("%s %s%s%s [%v +%v]%s",
+		s.Kind, s.Name, ends, size,
+		time.Duration(s.Start-epoch), time.Duration(s.End-s.Start), note)
+}
