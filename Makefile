@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race bench fuzz experiments
+.PHONY: all build vet lint lint-fast test race bench bench-json fuzz experiments
 
 all: build vet lint test
 
@@ -31,13 +31,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Short coverage-guided fuzz pass over the text front ends; CI runs the
-# same targets as a smoke stage. Crashers land in testdata/fuzz/ and then
-# run as regression seeds under plain `make test`.
+# Regenerate BENCH_PR6.json: E2 publish, E9 end-to-end query, and the
+# binary-vs-gob codec pairs measured in the same run. The test fails if
+# the binary codec stops beating the gob baseline on allocs/op.
+bench-json:
+	BENCH_JSON=$(CURDIR)/BENCH_PR6.json $(GO) test -run '^TestWriteBenchJSON$$' -count=1 -v .
+
+# Short coverage-guided fuzz pass over the text front ends and the wire
+# codec; CI runs the same targets as a smoke stage. Crashers land in
+# testdata/fuzz/ and then run as regression seeds under plain `make test`.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/sparql
 	$(GO) test -run '^$$' -fuzz FuzzReadTurtle -fuzztime $(FUZZTIME) ./internal/rdf
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/dqp
 
 # Regenerate the EXPERIMENTS.md table set (seed 0 = published tables).
 experiments:

@@ -1,0 +1,197 @@
+package adhocshare
+
+// Codec benchmarks and the bench-json emitter behind `make bench-json`.
+//
+// The codec benchmarks drive one encode+decode round trip of a
+// representative fabric hot-path payload per iteration, once through the
+// binary fast path (dqp.EncodePayload) and once through the registered
+// gob baseline (dqp.EncodePayloadGob) — same payload, same run, so the
+// allocs/op and ns/op columns are directly comparable.
+//
+// TestWriteBenchJSON re-runs those pairs plus the E2 publish and E9
+// end-to-end query experiments under testing.Benchmark and writes the
+// per-scenario numbers (ns/op, allocs/op, bytes/op, ops/sec) to the file
+// named by the BENCH_JSON environment variable; without it the test
+// skips, so plain `go test ./...` stays fast.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/dqp"
+	"adhocshare/internal/experiments"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/simnet"
+)
+
+// ---- representative hot-path payloads ----
+
+// sampleBatchFindReq models one parallel-resolve round: the initiator
+// ships every unresolved key of a publication batch in one request.
+func sampleBatchFindReq() simnet.Payload {
+	targets := make([]chord.ID, 48)
+	for i := range targets {
+		targets[i] = chord.ID(i*7919 + 13)
+	}
+	return chord.BatchFindReq{Targets: targets, Hops: 2}
+}
+
+// sampleBatchFindResp is the matching response: one successor ref per
+// target key.
+func sampleBatchFindResp() simnet.Payload {
+	nodes := make([]chord.Ref, 48)
+	for i := range nodes {
+		nodes[i] = chord.Ref{ID: chord.ID(i*104729 + 7), Addr: simnet.Addr(fmt.Sprintf("idx-%02d", i))}
+	}
+	return chord.BatchFindResp{Nodes: nodes, Hops: 3}
+}
+
+// samplePutBatchReq models one provider's posting installment on one
+// index node during Publish.
+func samplePutBatchReq() simnet.Payload {
+	entries := make([]overlay.KeyFreq, 64)
+	for i := range entries {
+		entries[i] = overlay.KeyFreq{Key: chord.ID(i*31 + 5), Freq: i%9 + 1}
+	}
+	return overlay.PutBatchReq{Node: "D00", Entries: entries}
+}
+
+// samplePostingsResp is a lookup answer listing the providers of one key.
+func samplePostingsResp() simnet.Payload {
+	ps := make([]overlay.Posting, 32)
+	for i := range ps {
+		ps[i] = overlay.Posting{Node: simnet.Addr(fmt.Sprintf("D%02d", i%10)), Freq: i + 1}
+	}
+	return overlay.PostingsResp{Postings: ps}
+}
+
+// codecScenarios pairs each hot payload with a stable scenario name.
+func codecScenarios() []struct {
+	name string
+	p    simnet.Payload
+} {
+	return []struct {
+		name string
+		p    simnet.Payload
+	}{
+		{"chord_batch_resolve_req", sampleBatchFindReq()},
+		{"chord_batch_resolve_resp", sampleBatchFindResp()},
+		{"overlay_put_batch", samplePutBatchReq()},
+		{"overlay_postings", samplePostingsResp()},
+	}
+}
+
+// benchCodec measures one encode+decode round trip per iteration.
+func benchCodec(b *testing.B, enc func(simnet.Payload) ([]byte, error), p simnet.Payload) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := enc(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dqp.DecodePayload(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodec compares the binary wire codec against the gob baseline
+// on each hot payload family:
+//
+//	go test -bench Codec -benchmem .
+func BenchmarkCodec(b *testing.B) {
+	for _, c := range codecScenarios() {
+		c := c
+		b.Run(c.name+"/binary", func(b *testing.B) { benchCodec(b, dqp.EncodePayload, c.p) })
+		b.Run(c.name+"/gob", func(b *testing.B) { benchCodec(b, dqp.EncodePayloadGob, c.p) })
+	}
+}
+
+// ---- bench-json emitter ----
+
+type benchScenario struct {
+	Name      string  `json:"scenario"`
+	NsOp      float64 `json:"ns_op"`
+	AllocsOp  int64   `json:"allocs_op"`
+	BytesOp   int64   `json:"bytes_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// runScenario runs one benchmark body to completion under
+// testing.Benchmark and flattens the result into a JSON-ready row.
+func runScenario(name string, fn func(b *testing.B)) benchScenario {
+	r := testing.Benchmark(fn)
+	nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	return benchScenario{
+		Name:      name,
+		NsOp:      nsOp,
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+		OpsPerSec: float64(r.N) / r.T.Seconds(),
+	}
+}
+
+// TestWriteBenchJSON regenerates BENCH_PR6.json. It runs only when
+// BENCH_JSON names the output path (`make bench-json` sets it), and fails
+// if the binary codec does not beat the gob baseline on allocs/op for the
+// fabric hot paths — the measured claim the committed file records.
+func TestWriteBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<path> (or run `make bench-json`) to regenerate the benchmark JSON")
+	}
+
+	var scenarios []benchScenario
+	scenarios = append(scenarios, runScenario("e2_publish", func(b *testing.B) {
+		b.ReportAllocs()
+		benchExperiment(b, experiments.E2IndexConstruction)
+	}))
+	scenarios = append(scenarios, runScenario("e9_query", func(b *testing.B) {
+		b.ReportAllocs()
+		benchExperiment(b, experiments.E9Fig4EndToEnd)
+	}))
+	for _, c := range codecScenarios() {
+		c := c
+		scenarios = append(scenarios, runScenario("codec/"+c.name+"/binary", func(b *testing.B) {
+			benchCodec(b, dqp.EncodePayload, c.p)
+		}))
+		scenarios = append(scenarios, runScenario("codec/"+c.name+"/gob", func(b *testing.B) {
+			benchCodec(b, dqp.EncodePayloadGob, c.p)
+		}))
+	}
+
+	byName := make(map[string]benchScenario, len(scenarios))
+	for _, s := range scenarios {
+		byName[s.Name] = s
+	}
+	for _, c := range codecScenarios() {
+		bin, gb := byName["codec/"+c.name+"/binary"], byName["codec/"+c.name+"/gob"]
+		if bin.AllocsOp >= gb.AllocsOp {
+			t.Errorf("codec/%s: binary path allocates %d allocs/op, gob baseline %d — the binary codec must allocate strictly less",
+				c.name, bin.AllocsOp, gb.AllocsOp)
+		}
+	}
+
+	doc := struct {
+		Note      string          `json:"note"`
+		GoVersion string          `json:"go_version"`
+		Scenarios []benchScenario `json:"scenarios"`
+	}{
+		Note:      "regenerate with `make bench-json`; codec pairs encode+decode the same payload through the binary fast path and the gob baseline in the same run",
+		GoVersion: runtime.Version(),
+		Scenarios: scenarios,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d scenarios to %s", len(scenarios), out)
+}

@@ -23,6 +23,7 @@ func (d Diagnostic) String() string {
 var ruleNames = []string{
 	ruleGuarded, ruleLockBlocking, ruleLockOrder, ruleRPCProto, rulePayloadSize,
 	ruleDeterminism, ruleGoroutine, ruleDiscardedError, ruleWireIso, ruleVTime,
+	ruleAlloc, ruleCodec,
 }
 
 const (
@@ -36,6 +37,8 @@ const (
 	ruleDiscardedError = "discarded-error"
 	ruleWireIso        = "wireiso"
 	ruleVTime          = "vtime"
+	ruleAlloc          = "alloc"
+	ruleCodec          = "codec"
 )
 
 // ruleDocs gives each rule its one-line description, shown by -list and
@@ -51,6 +54,8 @@ var ruleDocs = map[string]string{
 	ruleDiscardedError: "no `_ =` discards of error values outside tests",
 	ruleWireIso:        "RPC payloads must own their memory: values sent over simnet (Call/Send/Transfer requests, handler responses) must be fresh, deep-copied, wire-derived or documented //adhoclint:wireimmutable",
 	ruleVTime:          "concurrency in internal/ must flow through the simnet timing model: no goroutine fan-out over fabric calls outside simnet.Parallel, no fabricated or dropped VTime in handlers, no order-dependent Parallel bodies",
+	ruleAlloc:          "no avoidable per-message heap allocation (fmt.Sprintf, string accumulation, unsized container growth, interface boxing, closures in loops) in functions reachable from HandleCall dispatch or fabric calls; cold helpers carry //adhoclint:hotexempt",
+	ruleCodec:          "every RPC wire type must be gob-registered and either carry a field-complete EncodeBinary/DecodeBinary pair wired into the codec dispatch or an explaining //adhoclint:gobfallback directive",
 }
 
 // LintPackage runs every enabled rule over one package and returns the
@@ -80,8 +85,8 @@ func LintPackage(p *Package, enabled map[string]bool) []Diagnostic {
 
 // LintProgram runs the whole-program rules (lock-order, the
 // interprocedural half of lock-blocking, rpc-protocol, payload-size,
-// wireiso, vtime) over the analyzed packages together, with ignore
-// directives from every analyzed package applied.
+// wireiso, vtime, alloc, codec) over the analyzed packages together, with
+// ignore directives from every analyzed package applied.
 func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	diags = append(diags, checkProgramLocks(prog, enabled)...)
@@ -89,6 +94,8 @@ func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
 	diags = append(diags, checkPayloadSizes(prog, enabled)...)
 	diags = append(diags, checkWireIsolation(prog, enabled)...)
 	diags = append(diags, checkVTime(prog, enabled)...)
+	diags = append(diags, checkAlloc(prog, enabled)...)
+	diags = append(diags, checkCodec(prog, enabled)...)
 	ignores := map[ignoreKey][]string{}
 	for _, p := range prog.Pkgs {
 		collectIgnores(p, ignores)

@@ -30,6 +30,17 @@
 //	                   fabric calls outside simnet.Parallel, no dropped
 //	                   or fabricated VTime, no completion-order-dependent
 //	                   Parallel bodies
+//	alloc              no avoidable per-message heap allocation
+//	                   (fmt.Sprintf, string accumulation, unsized
+//	                   container growth, interface boxing, closures in
+//	                   loops) in the fabric hot set — the functions
+//	                   reachable from HandleCall dispatch or performing
+//	                   fabric calls; deliberately cold helpers carry
+//	                   //adhoclint:hotexempt
+//	codec              every RPC wire type must be gob-registered and
+//	                   either carry a field-complete EncodeBinary/
+//	                   DecodeBinary pair wired into the codec dispatch or
+//	                   an explaining //adhoclint:gobfallback directive
 //
 // Usage:
 //

@@ -1,0 +1,340 @@
+// Package codec exercises the codec-coverage rule: every wire type of the
+// RPC vocabularies must be gob-registered and either carry a
+// field-complete binary codec wired into the dispatch, or an explicit
+// gobfallback directive.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+
+	"adhocshare/internal/simnet"
+)
+
+// Wire methods of the fixture vocabulary.
+const (
+	MethodGood   = "cx.good"
+	MethodDrop   = "cx.drop"
+	MethodHalf   = "cx.half"
+	MethodLoose  = "cx.loose"
+	MethodUnreg  = "cx.unreg"
+	MethodPlain  = "cx.plain"
+	MethodBare   = "cx.bare"
+	MethodDoc    = "cx.doc"
+	MethodBoth   = "cx.both"
+	MethodSecret = "cx.secret"
+	MethodCall   = "cx.call"
+)
+
+var errShort = errors.New("codec: short input")
+
+// Ack is the shared response payload, with a complete codec.
+type Ack struct{ N uint64 }
+
+func (Ack) SizeBytes() int { return 8 }
+
+func (r Ack) EncodeBinary(dst []byte) []byte {
+	return binary.AppendUvarint(dst, r.N)
+}
+
+func (r *Ack) DecodeBinary(b []byte) ([]byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return b, errShort
+	}
+	r.N = v
+	return b[n:], nil
+}
+
+// GoodReq has a complete, field-covering codec: no findings.
+type GoodReq struct {
+	A uint64
+	B string
+}
+
+func (GoodReq) SizeBytes() int { return 16 }
+
+func (r GoodReq) EncodeBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, r.A)
+	return append(dst, r.B...)
+}
+
+func (r *GoodReq) DecodeBinary(b []byte) ([]byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return b, errShort
+	}
+	r.A = v
+	r.B = string(b[n:])
+	return nil, nil
+}
+
+// DropReq's encoder forgets field B.
+type DropReq struct {
+	A uint64
+	B uint64
+}
+
+func (DropReq) SizeBytes() int { return 16 }
+
+func (r DropReq) EncodeBinary(dst []byte) []byte { // want "does not mention field B"
+	return binary.AppendUvarint(dst, r.A)
+}
+
+func (r *DropReq) DecodeBinary(b []byte) ([]byte, error) {
+	r.A, _ = binary.Uvarint(b)
+	r.B = 0
+	return nil, nil
+}
+
+// HalfReq has an encoder but no decoder, and no decode dispatch case.
+type HalfReq struct{ A uint64 } // want "no DecodeBinary" want "decodeBinary dispatch"
+
+func (HalfReq) SizeBytes() int { return 8 }
+
+func (r HalfReq) EncodeBinary(dst []byte) []byte {
+	return binary.AppendUvarint(dst, r.A)
+}
+
+// LooseSigReq's codec methods have the wrong shapes.
+type LooseSigReq struct{ A uint64 }
+
+func (LooseSigReq) SizeBytes() int { return 8 }
+
+func (LooseSigReq) EncodeBinary() []byte { return nil } // want "must have signature"
+
+func (*LooseSigReq) DecodeBinary(b []byte) error { return nil } // want "must have signature"
+
+// UnregReq has a complete codec but no gob registration.
+type UnregReq struct{ A uint64 } // want "not gob-registered"
+
+func (UnregReq) SizeBytes() int { return 8 }
+
+func (r UnregReq) EncodeBinary(dst []byte) []byte {
+	return binary.AppendUvarint(dst, r.A)
+}
+
+func (r *UnregReq) DecodeBinary(b []byte) ([]byte, error) {
+	r.A, _ = binary.Uvarint(b)
+	return nil, nil
+}
+
+// PlainReq rides gob with neither codec nor directive.
+type PlainReq struct{ A uint64 } // want "rides gob reflection"
+
+func (PlainReq) SizeBytes() int { return 8 }
+
+// BareReq's directive names no reason.
+//
+//adhoclint:gobfallback
+type BareReq struct{ A uint64 } // want "bare //adhoclint:gobfallback"
+
+func (BareReq) SizeBytes() int { return 8 }
+
+// DocReq documents its fallback: no findings.
+//
+//adhoclint:gobfallback carries future fields of unknown shape
+type DocReq struct{ A uint64 }
+
+func (DocReq) SizeBytes() int { return 8 }
+
+// BothReq carries a codec and claims the fallback at the same time.
+//
+//adhoclint:gobfallback stale claim
+type BothReq struct{ A uint64 } // want "both a binary codec"
+
+func (BothReq) SizeBytes() int { return 8 }
+
+func (r BothReq) EncodeBinary(dst []byte) []byte {
+	return binary.AppendUvarint(dst, r.A)
+}
+
+func (r *BothReq) DecodeBinary(b []byte) ([]byte, error) {
+	r.A, _ = binary.Uvarint(b)
+	return nil, nil
+}
+
+// SecretReq hides a field from gob.
+//
+//adhoclint:gobfallback exercises the unexported-field check
+type SecretReq struct {
+	A      uint64
+	hidden int // want "unexported field hidden"
+}
+
+func (SecretReq) SizeBytes() int { return 8 }
+
+// CallReq enters the inventory through a fabric call site.
+type CallReq struct{ A uint64 }
+
+func (CallReq) SizeBytes() int { return 8 }
+
+func (r CallReq) EncodeBinary(dst []byte) []byte {
+	return binary.AppendUvarint(dst, r.A)
+}
+
+func (r *CallReq) DecodeBinary(b []byte) ([]byte, error) {
+	r.A, _ = binary.Uvarint(b)
+	return nil, nil
+}
+
+// CallResp enters the inventory through the caller's response assertion.
+//
+//adhoclint:gobfallback response shape still settling
+type CallResp struct{ A uint64 }
+
+func (CallResp) SizeBytes() int { return 8 }
+
+// Node is a simnet participant.
+type Node struct {
+	net  *simnet.Network
+	addr simnet.Addr
+}
+
+// HandleCall puts every request type into the wire inventory.
+func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	switch method {
+	case MethodGood:
+		r, _ := req.(GoodReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodDrop:
+		r, _ := req.(DropReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodHalf:
+		r, _ := req.(HalfReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodLoose:
+		r, _ := req.(LooseSigReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodUnreg:
+		r, _ := req.(UnregReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodPlain:
+		r, _ := req.(PlainReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodBare:
+		r, _ := req.(BareReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodDoc:
+		r, _ := req.(DocReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodBoth:
+		r, _ := req.(BothReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	case MethodSecret:
+		r, _ := req.(SecretReq)
+		_ = r
+		return Ack{N: 1}, at, nil
+	}
+	return nil, at, nil
+}
+
+// Caller widens the inventory with a call-site request and response.
+func (n *Node) Caller(to simnet.Addr, at simnet.VTime) (uint64, simnet.VTime, error) {
+	resp, done, err := n.net.Call(n.addr, to, MethodCall, CallReq{A: 1}, at)
+	if err != nil {
+		return 0, at, err
+	}
+	return resp.(CallResp).A, done, nil
+}
+
+// The codec half: EncodePayload marks this package as the codec package;
+// binaryTag and decodeBinary are the dispatch functions the rule
+// cross-checks.
+
+func init() {
+	gob.Register(Ack{})
+	gob.Register(GoodReq{})
+	gob.Register(DropReq{})
+	gob.Register(HalfReq{})
+	gob.Register(LooseSigReq{})
+	gob.Register(PlainReq{})
+	gob.Register(BareReq{})
+	gob.Register(DocReq{})
+	gob.Register(BothReq{})
+	gob.Register(SecretReq{})
+	gob.Register(CallReq{})
+	gob.Register(CallResp{})
+}
+
+// EncodePayload is the codec entry point.
+func EncodePayload(p simnet.Payload) ([]byte, error) {
+	if tag, ok := binaryTag(p); ok {
+		dst := []byte{tag}
+		return dst, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// binaryTag names the binary-coded payloads.
+func binaryTag(p simnet.Payload) (byte, bool) {
+	switch p.(type) {
+	case Ack:
+		return 1, true
+	case GoodReq:
+		return 2, true
+	case DropReq:
+		return 3, true
+	case HalfReq:
+		return 4, true
+	case LooseSigReq:
+		return 5, true
+	case UnregReq:
+		return 6, true
+	case BothReq:
+		return 7, true
+	case CallReq:
+		return 8, true
+	}
+	return 0, false
+}
+
+// decodeBinary reverses the binary payloads.
+func decodeBinary(tag byte, data []byte) (simnet.Payload, error) {
+	switch tag {
+	case 1:
+		var v Ack
+		_, err := v.DecodeBinary(data)
+		return v, err
+	case 2:
+		var v GoodReq
+		_, err := v.DecodeBinary(data)
+		return v, err
+	case 3:
+		var v DropReq
+		_, err := v.DecodeBinary(data)
+		return v, err
+	case 5:
+		var v LooseSigReq
+		_ = data
+		return v, nil
+	case 6:
+		var v UnregReq
+		_, err := v.DecodeBinary(data)
+		return v, err
+	case 7:
+		var v BothReq
+		_, err := v.DecodeBinary(data)
+		return v, err
+	case 8:
+		var v CallReq
+		_, err := v.DecodeBinary(data)
+		return v, err
+	}
+	return nil, errors.New("codec: unknown tag")
+}

@@ -8,12 +8,21 @@
 //	benchmark -run E4    # run one experiment
 //	benchmark -list      # list experiments
 //	benchmark -json      # machine-readable output for plot/diff tooling
+//
+// With -cpuprofile or -memprofile the run writes pprof profiles of the
+// harness itself — the data behind the hot-path work in the adhoclint
+// alloc rule and the binary wire codec:
+//
+//	benchmark -run E9 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"adhocshare/internal/experiments"
 )
@@ -23,40 +32,94 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 0, "master seed XORed into every experiment stream (0 = the published tables)")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of plain-text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile taken after the run to this file")
 	flag.Parse()
 
-	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Name)
-		}
-		return
-	}
-	p := experiments.Params{Seed: *seed}
-	if *asJSON {
-		var ids []string
-		if *run != "" {
-			ids = []string{*run}
-		}
-		tables, err := experiments.Collect(p, ids...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchmark:", err)
-			os.Exit(1)
-		}
-		if err := experiments.WriteJSON(os.Stdout, tables); err != nil {
-			fmt.Fprintln(os.Stderr, "benchmark:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *run != "" {
-		if err := experiments.RunOne(os.Stdout, *run, p); err != nil {
-			fmt.Fprintln(os.Stderr, "benchmark:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := experiments.RunAll(os.Stdout, p); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
+	err = runHarness(*run, *list, *asJSON, experiments.Params{Seed: *seed})
+	// Flush the profiles even on a failed run: a crash-adjacent profile is
+	// still worth reading, and os.Exit skips deferred writers.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", perr)
+		if err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges the allocation profile,
+// returning a stop function that finishes both.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // settle live objects so the profile shows real retention
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// runHarness dispatches the selected mode of the command.
+func runHarness(run string, list, asJSON bool, p experiments.Params) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	if asJSON {
+		var ids []string
+		if run != "" {
+			ids = []string{run}
+		}
+		tables, err := experiments.Collect(p, ids...)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteJSON(os.Stdout, tables)
+	}
+	if run != "" {
+		return experiments.RunOne(os.Stdout, run, p)
+	}
+	return experiments.RunAll(os.Stdout, p)
 }

@@ -1,0 +1,158 @@
+package chord
+
+import (
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/wirebin"
+)
+
+// Binary wire form of the chord RPC payloads (lookup and batch-lookup are
+// the routing hot path; the adhoclint codec rule cross-checks that every
+// field below stays covered). Hop counters use zig-zag varints, ring
+// identifiers unsigned varints, and trace contexts ride via their own
+// trace.TraceContext binary form — they still contribute zero bytes to
+// the modeled SizeBytes cost, but the codec must round-trip them so
+// causality survives serialization.
+
+// EncodeBinary appends the reference's binary wire form to dst.
+func (r Ref) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.ID))
+	return wirebin.AppendString(dst, string(r.Addr))
+}
+
+// DecodeBinary consumes one reference from b and returns the rest.
+func (r *Ref) DecodeBinary(b []byte) ([]byte, error) {
+	id, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.ID = ID(id)
+	addr, b, err := wirebin.String(b)
+	r.Addr = simnet.Addr(addr)
+	return b, err
+}
+
+// EncodeBinary appends the request's binary wire form to dst.
+func (r FindReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.Target))
+	dst = wirebin.AppendInt(dst, r.Hops)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one request from b and returns the rest.
+func (r *FindReq) DecodeBinary(b []byte) ([]byte, error) {
+	target, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.Target = ID(target)
+	if r.Hops, b, err = wirebin.Int(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the response's binary wire form to dst.
+func (r FindResp) EncodeBinary(dst []byte) []byte {
+	dst = r.Node.EncodeBinary(dst)
+	return wirebin.AppendInt(dst, r.Hops)
+}
+
+// DecodeBinary consumes one response from b and returns the rest.
+func (r *FindResp) DecodeBinary(b []byte) ([]byte, error) {
+	b, err := r.Node.DecodeBinary(b)
+	if err != nil {
+		return b, err
+	}
+	r.Hops, b, err = wirebin.Int(b)
+	return b, err
+}
+
+// EncodeBinary appends the batch request's binary wire form to dst.
+func (r BatchFindReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(r.Targets)))
+	for _, t := range r.Targets {
+		dst = wirebin.AppendUvarint(dst, uint64(t))
+	}
+	dst = wirebin.AppendInt(dst, r.Hops)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one batch request from b and returns the rest.
+func (r *BatchFindReq) DecodeBinary(b []byte) ([]byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return b, err
+	}
+	r.Targets = nil
+	if n > 0 {
+		r.Targets = make([]ID, n)
+		for i := range r.Targets {
+			var v uint64
+			if v, b, err = wirebin.Uvarint(b); err != nil {
+				return b, err
+			}
+			r.Targets[i] = ID(v)
+		}
+	}
+	if r.Hops, b, err = wirebin.Int(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the batch response's binary wire form to dst.
+func (r BatchFindResp) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(r.Nodes)))
+	for _, ref := range r.Nodes {
+		dst = ref.EncodeBinary(dst)
+	}
+	return wirebin.AppendInt(dst, r.Hops)
+}
+
+// DecodeBinary consumes one batch response from b and returns the rest.
+func (r *BatchFindResp) DecodeBinary(b []byte) ([]byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return b, err
+	}
+	r.Nodes = nil
+	if n > 0 {
+		r.Nodes = make([]Ref, n)
+		for i := range r.Nodes {
+			if b, err = r.Nodes[i].DecodeBinary(b); err != nil {
+				return b, err
+			}
+		}
+	}
+	r.Hops, b, err = wirebin.Int(b)
+	return b, err
+}
+
+// EncodeBinary appends the successor list's binary wire form to dst.
+func (l RefList) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(l.Refs)))
+	for _, r := range l.Refs {
+		dst = r.EncodeBinary(dst)
+	}
+	return dst
+}
+
+// DecodeBinary consumes one successor list from b and returns the rest.
+func (l *RefList) DecodeBinary(b []byte) ([]byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return b, err
+	}
+	l.Refs = nil
+	if n > 0 {
+		l.Refs = make([]Ref, n)
+		for i := range l.Refs {
+			if b, err = l.Refs[i].DecodeBinary(b); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}

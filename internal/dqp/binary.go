@@ -1,0 +1,179 @@
+package dqp
+
+import (
+	"fmt"
+
+	"adhocshare/internal/chord"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/simnet"
+)
+
+// The hand-rolled half of the payload codec (ROADMAP item 1): the hot
+// payload families — chord lookup/batch routing, overlay publication and
+// lookup, result shipping — encode through deterministic, reflection-free
+// EncodeBinary/DecodeBinary methods instead of gob. A payload's first wire
+// byte is its format tag: tagGob marks a gob stream (interface-bearing and
+// maintenance-only payloads), every other tag names one concrete binary
+// type below. The adhoclint codec rule cross-checks this dispatch against
+// the wire-type inventory, so a payload cannot silently ride gob
+// reflection without a //adhoclint:gobfallback directive, and a type with
+// EncodeBinary cannot be missing from binaryTag or decodeBinary.
+
+// Format tags. tagGob must stay zero: it doubles as the marker for the
+// reflection fallback stream.
+const (
+	tagGob byte = iota
+	tagBytes
+	tagChordRef
+	tagChordFindReq
+	tagChordFindResp
+	tagChordBatchFindReq
+	tagChordBatchFindResp
+	tagChordRefList
+	tagPutReq
+	tagPutBatchReq
+	tagLookupReq
+	tagPostingsResp
+	tagTransferReq
+	tagDropNodeReq
+	tagSolutionsResp
+	tagCountReq
+	tagCountResp
+	tagTriplesResp
+)
+
+// binaryEncoder is the contract of a binary-codec payload: append-style
+// encoding into a caller-sized buffer.
+type binaryEncoder interface {
+	simnet.Payload
+	EncodeBinary(dst []byte) []byte
+}
+
+// binaryTag maps a concrete payload to its format tag. Payloads without a
+// tag (interface-bearing or maintenance-only types) take the gob fallback.
+func binaryTag(p simnet.Payload) (byte, bool) {
+	switch p.(type) {
+	case simnet.Bytes:
+		return tagBytes, true
+	case chord.Ref:
+		return tagChordRef, true
+	case chord.FindReq:
+		return tagChordFindReq, true
+	case chord.FindResp:
+		return tagChordFindResp, true
+	case chord.BatchFindReq:
+		return tagChordBatchFindReq, true
+	case chord.BatchFindResp:
+		return tagChordBatchFindResp, true
+	case chord.RefList:
+		return tagChordRefList, true
+	case overlay.PutReq:
+		return tagPutReq, true
+	case overlay.PutBatchReq:
+		return tagPutBatchReq, true
+	case overlay.LookupReq:
+		return tagLookupReq, true
+	case overlay.PostingsResp:
+		return tagPostingsResp, true
+	case overlay.TransferReq:
+		return tagTransferReq, true
+	case overlay.DropNodeReq:
+		return tagDropNodeReq, true
+	case overlay.SolutionsResp:
+		return tagSolutionsResp, true
+	case overlay.CountReq:
+		return tagCountReq, true
+	case overlay.CountResp:
+		return tagCountResp, true
+	case overlay.TriplesResp:
+		return tagTriplesResp, true
+	}
+	return 0, false
+}
+
+// decodeBinary decodes the payload named by a non-gob format tag.
+func decodeBinary(tag byte, data []byte) (simnet.Payload, error) {
+	switch tag {
+	case tagBytes:
+		var v simnet.Bytes
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordRef:
+		var v chord.Ref
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordFindReq:
+		var v chord.FindReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordFindResp:
+		var v chord.FindResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordBatchFindReq:
+		var v chord.BatchFindReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordBatchFindResp:
+		var v chord.BatchFindResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagChordRefList:
+		var v chord.RefList
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagPutReq:
+		var v overlay.PutReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagPutBatchReq:
+		var v overlay.PutBatchReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagLookupReq:
+		var v overlay.LookupReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagPostingsResp:
+		var v overlay.PostingsResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagTransferReq:
+		var v overlay.TransferReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagDropNodeReq:
+		var v overlay.DropNodeReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagSolutionsResp:
+		var v overlay.SolutionsResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagCountReq:
+		var v overlay.CountReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagCountResp:
+		var v overlay.CountResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagTriplesResp:
+		var v overlay.TriplesResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	}
+	return nil, fmt.Errorf("dqp: unknown payload format tag %d", tag)
+}
+
+// checkRest finishes a binary decode: the payload must consume its whole
+// input, or the frame was corrupt.
+func checkRest(p simnet.Payload, rest []byte, err error) (simnet.Payload, error) {
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("dqp: %d trailing bytes after binary payload", len(rest))
+	}
+	return p, nil
+}

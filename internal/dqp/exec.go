@@ -520,10 +520,10 @@ func (e *Engine) execParallelJoin(ctx *qctx, plans []patternPlan, conjuncts []sp
 		times[i] = done
 	}
 	cur, now := results[0], times[0]
+	join := func(a, b eval.Solutions) eval.Solutions { return eval.Join(a, b) }
 	for i := 1; i < len(plans); i++ {
 		var err error
-		cur, now, err = e.mergeAt(ctx, cur, results[i], simnet.MaxTime(now, times[i]),
-			func(a, b eval.Solutions) eval.Solutions { return eval.Join(a, b) })
+		cur, now, err = e.mergeAt(ctx, cur, results[i], simnet.MaxTime(now, times[i]), join)
 		if err != nil {
 			return siteSet{}, now, err
 		}

@@ -1,0 +1,139 @@
+package dqp
+
+import (
+	"adhocshare/internal/chord"
+	"adhocshare/internal/overlay"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/rdfpeers"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/sparql"
+	"adhocshare/internal/sparql/eval"
+)
+
+// methodSample is one wire method with representative non-empty request
+// and response payloads. The round-trip test, the AllocsPerRun guards and
+// the codec fuzz seeds all draw from the same table, so every registered
+// payload type is exercised by every harness.
+type methodSample struct {
+	method    string
+	req, resp simnet.Payload
+}
+
+// methodSamples covers every Method* constant of the four RPC
+// vocabularies (overlay, chord, dqp, rdfpeers). Transfer-only methods and
+// fire-and-forget handlers ack with simnet.Bytes, which must round-trip
+// like any payload.
+func methodSamples() []methodSample {
+	triple := rdf.NewTriple(
+		rdf.NewIRI("urn:s"),
+		rdf.NewIRI("urn:p"),
+		rdf.NewTypedLiteral("12", "http://www.w3.org/2001/XMLSchema#integer"),
+	)
+	pattern := rdf.NewTriple(rdf.NewVar("s"), rdf.NewIRI("urn:p"), rdf.NewVar("o"))
+	sols := eval.Solutions{
+		eval.Binding{"s": rdf.NewIRI("urn:s"), "o": rdf.NewLangLiteral("hi", "en")},
+	}
+	filter := &sparql.ExprCmp{
+		Op:    sparql.CmpGt,
+		Left:  &sparql.ExprVar{Name: "o"},
+		Right: &sparql.ExprTerm{Term: rdf.NewTypedLiteral("3", "http://www.w3.org/2001/XMLSchema#integer")},
+	}
+	rows := overlay.TableRows{Rows: map[chord.ID][]overlay.Posting{
+		7: {{Node: "n3", Freq: 2}},
+	}}
+	matchReq := overlay.MatchReq{
+		Patterns:  []rdf.Triple{pattern},
+		Filter:    filter,
+		Seeds:     sols,
+		Dataset:   []string{"urn:g1"},
+		Graph:     rdf.NewIRI("urn:g1"),
+		FromNamed: []string{"urn:g2"},
+	}
+	ref := chord.Ref{ID: 42, Addr: "c2"}
+	ack := simnet.Bytes(1)
+
+	return []methodSample{
+		// Overlay index-node methods.
+		{overlay.MethodPut, overlay.PutReq{Key: 9, Node: "n1", Freq: 3}, ack},
+		{overlay.MethodPutBatch, overlay.PutBatchReq{
+			Node:     "n1",
+			Entries:  []overlay.KeyFreq{{Key: 4, Freq: 2}},
+			Absolute: true,
+		}, ack},
+		{overlay.MethodLookup, overlay.LookupReq{Key: 4},
+			overlay.PostingsResp{Postings: []overlay.Posting{{Node: "n2", Freq: 5}}}},
+		{overlay.MethodTransfer, overlay.TransferReq{From: 1, To: 9}, rows},
+		{overlay.MethodHandover, rows, ack},
+		{overlay.MethodDropNode, overlay.DropNodeReq{Node: "n4", Propagate: true}, ack},
+		{overlay.MethodReplica, rows, ack},
+
+		// Overlay storage-node methods.
+		{overlay.MethodMatch, matchReq, overlay.SolutionsResp{Sols: sols}},
+		{overlay.MethodChainHop, chainPayload{
+			Patterns: []rdf.Triple{pattern},
+			Filter:   filter,
+			Seeds:    sols,
+			Acc:      sols,
+			Seq:      []simnet.Addr{"n5", "n6"},
+			Dataset:  []string{"urn:g1"},
+		}, ack},
+		{overlay.MethodCount, overlay.CountReq{Pattern: pattern}, overlay.CountResp{N: 11}},
+		{overlay.MethodDump, overlay.CountReq{Pattern: pattern},
+			overlay.TriplesResp{Triples: []rdf.Triple{triple}}},
+
+		// Chord ring maintenance.
+		{chord.MethodFindSuccessor, chord.FindReq{Target: 5, Hops: 1},
+			chord.FindResp{Node: ref, Hops: 2}},
+		{chord.MethodFindSuccessorBatch, chord.BatchFindReq{Targets: []chord.ID{5, 9}, Hops: 1},
+			chord.BatchFindResp{Nodes: []chord.Ref{ref, {ID: 51, Addr: "c3"}}, Hops: 3}},
+		{chord.MethodGetPredecessor, ack, ref},
+		{chord.MethodGetSuccList, ack, chord.RefList{Refs: []chord.Ref{ref}}},
+		{chord.MethodNotify, ref, ack},
+		{chord.MethodPing, ack, ack},
+		{chord.MethodSetPredecessor, ref, ack},
+		{chord.MethodSetSuccessor, ref, ack},
+
+		// DQP transfers (all transfer-only; the receiver acks the bytes).
+		{methodDispatch, matchReq, ack},
+		{methodShip, overlay.SolutionsResp{Sols: sols}, ack},
+		{methodResult, overlay.SolutionsResp{Sols: sols}, ack},
+
+		// RDFPeers baseline.
+		{rdfpeers.MethodStore, rdfpeers.StoreReq{Triple: triple}, ack},
+		{rdfpeers.MethodMatch, rdfpeers.MatchReq{Pattern: pattern},
+			rdfpeers.SolutionsResp{Sols: sols}},
+		{rdfpeers.MethodIntersect, rdfpeers.IntersectReq{
+			Pattern:    pattern,
+			Candidates: []rdf.Term{rdf.NewIRI("urn:s")},
+		}, rdfpeers.TermsResp{Terms: []rdf.Term{rdf.NewIRI("urn:s")}}},
+		{rdfpeers.MethodRange, rdfpeers.RangeReq{Predicate: rdf.NewIRI("urn:p"), Lo: 1, Hi: 9},
+			rdfpeers.RangeResp{Triples: []rdf.Triple{triple}}},
+		// Result transfers ship either candidate terms (MAQ) or triples
+		// (range queries) back to the initiator.
+		{rdfpeers.MethodResult, rdfpeers.TermsResp{Terms: []rdf.Term{rdf.NewIRI("urn:s")}},
+			rdfpeers.TriplesPayload{Triples: []rdf.Triple{triple}}},
+	}
+}
+
+// samplePayloads flattens the method table into one payload per entry,
+// labelled "<method> request"/"<method> response".
+func samplePayloads() []struct {
+	label string
+	p     simnet.Payload
+} {
+	var out []struct {
+		label string
+		p     simnet.Payload
+	}
+	for _, c := range methodSamples() {
+		out = append(out, struct {
+			label string
+			p     simnet.Payload
+		}{c.method + " request", c.req})
+		out = append(out, struct {
+			label string
+			p     simnet.Payload
+		}{c.method + " response", c.resp})
+	}
+	return out
+}

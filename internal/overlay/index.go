@@ -71,7 +71,7 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 		if !ok {
 			return nil, at, fmt.Errorf("overlay: put_batch payload %T", req)
 		}
-		rows := map[chord.ID][]Posting{}
+		rows := make(map[chord.ID][]Posting, len(r.Entries))
 		for _, e := range r.Entries {
 			if r.Absolute {
 				n.Table.Set(e.Key, r.Node, e.Freq)

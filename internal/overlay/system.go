@@ -397,7 +397,7 @@ func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, fre
 	epoch := s.Epoch()
 	owners := make(map[chord.ID]simnet.Addr, len(keys))
 	viaRing := make(map[chord.ID]bool, len(keys))
-	var unresolved []chord.ID
+	unresolved := make([]chord.ID, 0, len(keys))
 	for _, key := range keys {
 		if a, ok := node.CachedOwner(epoch, key); ok && s.net.Alive(a) {
 			owners[key] = a

@@ -1,0 +1,222 @@
+package overlay
+
+import (
+	"adhocshare/internal/chord"
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/simnet"
+	"adhocshare/internal/wirebin"
+)
+
+// Binary wire form of the overlay index/store payloads. The publication
+// (PutBatch) and lookup families are the index hot path; the adhoclint
+// codec rule cross-checks that every field below stays covered, and the
+// AllocsPerRun guards in internal/dqp pin the encode/decode costs.
+// MatchReq and TableRows stay on the gob fallback: the former carries a
+// sparql.Expression interface value, the latter a maintenance-only map.
+
+// EncodeBinary appends the request's binary wire form to dst.
+func (r PutReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.Key))
+	dst = wirebin.AppendString(dst, string(r.Node))
+	return wirebin.AppendInt(dst, r.Freq)
+}
+
+// DecodeBinary consumes one request from b and returns the rest.
+func (r *PutReq) DecodeBinary(b []byte) ([]byte, error) {
+	key, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.Key = chord.ID(key)
+	node, b, err := wirebin.String(b)
+	if err != nil {
+		return b, err
+	}
+	r.Node = simnet.Addr(node)
+	r.Freq, b, err = wirebin.Int(b)
+	return b, err
+}
+
+// EncodeBinary appends the batch request's binary wire form to dst.
+func (r PutBatchReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendString(dst, string(r.Node))
+	dst = wirebin.AppendUvarint(dst, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = wirebin.AppendUvarint(dst, uint64(e.Key))
+		dst = wirebin.AppendInt(dst, e.Freq)
+	}
+	dst = wirebin.AppendBool(dst, r.Absolute)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one batch request from b and returns the rest.
+func (r *PutBatchReq) DecodeBinary(b []byte) ([]byte, error) {
+	node, b, err := wirebin.String(b)
+	if err != nil {
+		return b, err
+	}
+	r.Node = simnet.Addr(node)
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return b, err
+	}
+	r.Entries = nil
+	if n > 0 {
+		r.Entries = make([]KeyFreq, n)
+		for i := range r.Entries {
+			var key uint64
+			if key, b, err = wirebin.Uvarint(b); err != nil {
+				return b, err
+			}
+			r.Entries[i].Key = chord.ID(key)
+			if r.Entries[i].Freq, b, err = wirebin.Int(b); err != nil {
+				return b, err
+			}
+		}
+	}
+	if r.Absolute, b, err = wirebin.Bool(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the lookup request's binary wire form to dst.
+func (r LookupReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.Key))
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one lookup request from b and returns the rest.
+func (r *LookupReq) DecodeBinary(b []byte) ([]byte, error) {
+	key, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.Key = chord.ID(key)
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the postings row's binary wire form to dst.
+func (r PostingsResp) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(r.Postings)))
+	for _, p := range r.Postings {
+		dst = wirebin.AppendString(dst, string(p.Node))
+		dst = wirebin.AppendInt(dst, p.Freq)
+	}
+	return dst
+}
+
+// DecodeBinary consumes one postings row from b and returns the rest.
+func (r *PostingsResp) DecodeBinary(b []byte) ([]byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return b, err
+	}
+	r.Postings = nil
+	if n > 0 {
+		r.Postings = make([]Posting, n)
+		for i := range r.Postings {
+			var node string
+			if node, b, err = wirebin.String(b); err != nil {
+				return b, err
+			}
+			r.Postings[i].Node = simnet.Addr(node)
+			if r.Postings[i].Freq, b, err = wirebin.Int(b); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// EncodeBinary appends the transfer request's binary wire form to dst.
+func (r TransferReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.From))
+	return wirebin.AppendUvarint(dst, uint64(r.To))
+}
+
+// DecodeBinary consumes one transfer request from b and returns the rest.
+func (r *TransferReq) DecodeBinary(b []byte) ([]byte, error) {
+	from, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.From = chord.ID(from)
+	to, b, err := wirebin.Uvarint(b)
+	r.To = chord.ID(to)
+	return b, err
+}
+
+// EncodeBinary appends the drop request's binary wire form to dst.
+func (r DropNodeReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendString(dst, string(r.Node))
+	dst = wirebin.AppendBool(dst, r.Propagate)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one drop request from b and returns the rest.
+func (r *DropNodeReq) DecodeBinary(b []byte) ([]byte, error) {
+	node, b, err := wirebin.String(b)
+	if err != nil {
+		return b, err
+	}
+	r.Node = simnet.Addr(node)
+	if r.Propagate, b, err = wirebin.Bool(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the solutions response's binary wire form to dst.
+func (r SolutionsResp) EncodeBinary(dst []byte) []byte {
+	dst = r.Sols.EncodeBinary(dst)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one solutions response from b and returns the
+// rest.
+func (r *SolutionsResp) DecodeBinary(b []byte) ([]byte, error) {
+	b, err := r.Sols.DecodeBinary(b)
+	if err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the count request's binary wire form to dst.
+func (r CountReq) EncodeBinary(dst []byte) []byte {
+	return r.Pattern.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one count request from b and returns the rest.
+func (r *CountReq) DecodeBinary(b []byte) ([]byte, error) {
+	return r.Pattern.DecodeBinary(b)
+}
+
+// EncodeBinary appends the count response's binary wire form to dst.
+func (r CountResp) EncodeBinary(dst []byte) []byte {
+	return wirebin.AppendInt(dst, r.N)
+}
+
+// DecodeBinary consumes one count response from b and returns the rest.
+func (r *CountResp) DecodeBinary(b []byte) ([]byte, error) {
+	var err error
+	r.N, b, err = wirebin.Int(b)
+	return b, err
+}
+
+// EncodeBinary appends the triples response's binary wire form to dst.
+func (r TriplesResp) EncodeBinary(dst []byte) []byte {
+	return rdf.AppendTriples(dst, r.Triples)
+}
+
+// DecodeBinary consumes one triples response from b and returns the rest.
+func (r *TriplesResp) DecodeBinary(b []byte) ([]byte, error) {
+	var err error
+	r.Triples, b, err = rdf.DecodeTriples(b)
+	return b, err
+}

@@ -8,6 +8,7 @@ package rdf
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -95,7 +96,7 @@ func NewTypedLiteral(lex, datatype string) Term {
 
 // NewInteger returns an xsd:integer literal.
 func NewInteger(v int64) Term {
-	return Term{Kind: KindLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+	return Term{Kind: KindLiteral, Value: strconv.FormatInt(v, 10), Datatype: XSDInteger}
 }
 
 // NewBoolean returns an xsd:boolean literal.

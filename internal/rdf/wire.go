@@ -1,0 +1,77 @@
+package rdf
+
+import "adhocshare/internal/wirebin"
+
+// Binary wire form of terms and triples, shared by every hand-rolled
+// payload codec (see internal/dqp). The encoding is positional and
+// deterministic: kind tag, then the three lexical components as
+// length-prefixed strings.
+
+// EncodeBinary appends the term's binary wire form to dst.
+func (t Term) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(t.Kind))
+	dst = wirebin.AppendString(dst, t.Value)
+	dst = wirebin.AppendString(dst, t.Lang)
+	return wirebin.AppendString(dst, t.Datatype)
+}
+
+// DecodeBinary consumes one term from b and returns the rest.
+func (t *Term) DecodeBinary(b []byte) ([]byte, error) {
+	kind, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	t.Kind = Kind(kind)
+	if t.Value, b, err = wirebin.String(b); err != nil {
+		return b, err
+	}
+	if t.Lang, b, err = wirebin.String(b); err != nil {
+		return b, err
+	}
+	t.Datatype, b, err = wirebin.String(b)
+	return b, err
+}
+
+// EncodeBinary appends the triple's binary wire form to dst.
+func (t Triple) EncodeBinary(dst []byte) []byte {
+	dst = t.S.EncodeBinary(dst)
+	dst = t.P.EncodeBinary(dst)
+	return t.O.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one triple from b and returns the rest.
+func (t *Triple) DecodeBinary(b []byte) ([]byte, error) {
+	b, err := t.S.DecodeBinary(b)
+	if err != nil {
+		return b, err
+	}
+	if b, err = t.P.DecodeBinary(b); err != nil {
+		return b, err
+	}
+	return t.O.DecodeBinary(b)
+}
+
+// AppendTriples appends a length-prefixed triple sequence.
+func AppendTriples(dst []byte, ts []Triple) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(ts)))
+	for _, t := range ts {
+		dst = t.EncodeBinary(dst)
+	}
+	return dst
+}
+
+// DecodeTriples consumes a length-prefixed triple sequence (nil for an
+// empty one, matching what gob's zero-value elision decodes to).
+func DecodeTriples(b []byte) ([]Triple, []byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil || n == 0 {
+		return nil, b, err
+	}
+	out := make([]Triple, n)
+	for i := range out {
+		if b, err = out[i].DecodeBinary(b); err != nil {
+			return nil, b, err
+		}
+	}
+	return out, b, nil
+}

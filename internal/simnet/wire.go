@@ -1,0 +1,27 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errTruncatedBytes reports wire input that ends inside a Bytes payload.
+// simnet stays self-contained (no internal/wirebin import): Bytes is the
+// only simnet type that travels through the payload codec.
+var errTruncatedBytes = errors.New("simnet: truncated Bytes payload")
+
+// EncodeBinary appends the opaque payload's binary wire form (one zig-zag
+// varint) to dst, for the hand-rolled codec in internal/dqp.
+func (b Bytes) EncodeBinary(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(b))
+}
+
+// DecodeBinary consumes one Bytes payload from buf and returns the rest.
+func (b *Bytes) DecodeBinary(buf []byte) ([]byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return buf, errTruncatedBytes
+	}
+	*b = Bytes(v)
+	return buf[n:], nil
+}

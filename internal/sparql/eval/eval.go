@@ -208,18 +208,29 @@ func EvalBGP(g *rdf.Graph, patterns []rdf.Triple, seeds Solutions) Solutions {
 	if len(patterns) == 0 {
 		return seeds
 	}
+	// The collector closure is hoisted out of the loops and fed through
+	// captured variables: allocating it per binding (the natural inline
+	// form) costs one heap closure per seed per pattern on the match hot
+	// path.
+	var (
+		next  Solutions
+		b     Binding
+		bound rdf.Triple
+	)
+	collect := func(t rdf.Triple) bool {
+		nb, ok := extend(b, bound, t)
+		if ok {
+			next = append(next, nb)
+		}
+		return true
+	}
 	cur := seeds
 	for _, pat := range patterns {
-		var next Solutions
-		for _, b := range cur {
-			bound := Substitute(pat, b)
-			g.ForEachMatch(bound, func(t rdf.Triple) bool {
-				nb, ok := extend(b, bound, t)
-				if ok {
-					next = append(next, nb)
-				}
-				return true
-			})
+		next = nil
+		for _, cb := range cur {
+			b = cb
+			bound = Substitute(pat, b)
+			g.ForEachMatch(bound, collect)
 		}
 		cur = next
 		if len(cur) == 0 {

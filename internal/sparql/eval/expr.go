@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -16,6 +17,11 @@ import (
 // solution rather than failing the whole query.
 var errExpr = errors.New("expression error")
 
+// exprErrf builds one expression error. Errors are the cold failure path
+// of FILTER evaluation (the constraint just fails for that solution), so
+// the formatting cost here is off the per-message budget by design.
+//
+//adhoclint:hotexempt error construction is the cold path of FILTER semantics
 func exprErrf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errExpr, fmt.Sprintf(format, args...))
 }
@@ -99,7 +105,7 @@ func numValue(v float64) Value {
 	if v == float64(int64(v)) {
 		return Value{Term: rdf.NewInteger(int64(v))}
 	}
-	return Value{Term: rdf.NewTypedLiteral(fmt.Sprintf("%g", v), rdf.XSDDouble)}
+	return Value{Term: rdf.NewTypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), rdf.XSDDouble)}
 }
 
 // EBV computes the effective boolean value of a term per the SPARQL

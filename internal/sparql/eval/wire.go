@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"sort"
+
+	"adhocshare/internal/rdf"
+	"adhocshare/internal/wirebin"
+)
+
+// Binary wire form of solution mappings and multisets, used by the
+// hand-rolled payload codec (internal/dqp) for result shipping. Map
+// iteration order is never exposed: a mapping encodes its variables in
+// sorted order, so the encoding is deterministic and two equal bindings
+// always produce identical bytes.
+
+// EncodeBinary appends the mapping's binary wire form to dst: the
+// variable count, then (name, term) pairs in sorted variable order.
+func (b Binding) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(b)))
+	if len(b) == 0 {
+		return dst
+	}
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = wirebin.AppendString(dst, k)
+		dst = b[k].EncodeBinary(dst)
+	}
+	return dst
+}
+
+// DecodeBinary consumes one mapping from buf and returns the rest. An
+// empty mapping decodes to nil, matching gob's zero-value elision.
+func (b *Binding) DecodeBinary(buf []byte) ([]byte, error) {
+	n, buf, err := wirebin.Len(buf)
+	if err != nil || n == 0 {
+		*b = nil
+		return buf, err
+	}
+	out := make(Binding, n)
+	for i := 0; i < n; i++ {
+		var k string
+		if k, buf, err = wirebin.String(buf); err != nil {
+			return buf, err
+		}
+		var t rdf.Term
+		if buf, err = t.DecodeBinary(buf); err != nil {
+			return buf, err
+		}
+		out[k] = t
+	}
+	*b = out
+	return buf, nil
+}
+
+// EncodeBinary appends the multiset's binary wire form to dst.
+func (s Solutions) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(s)))
+	for _, b := range s {
+		dst = b.EncodeBinary(dst)
+	}
+	return dst
+}
+
+// DecodeBinary consumes one multiset from buf and returns the rest (nil
+// for an empty one).
+func (s *Solutions) DecodeBinary(buf []byte) ([]byte, error) {
+	n, buf, err := wirebin.Len(buf)
+	if err != nil || n == 0 {
+		*s = nil
+		return buf, err
+	}
+	out := make(Solutions, n)
+	for i := range out {
+		if buf, err = out[i].DecodeBinary(buf); err != nil {
+			return buf, err
+		}
+	}
+	*s = out
+	return buf, nil
+}

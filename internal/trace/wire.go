@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errTruncated reports wire input that ends inside a trace context. The
+// package stays a leaf (stdlib imports only), so the varint primitives
+// come from encoding/binary directly rather than internal/wirebin.
+var errTruncated = errors.New("trace: truncated context")
+
+// EncodeBinary appends the context's binary wire form to dst: three
+// unsigned varints, so the common untraced (all-zero) context costs three
+// bytes. Trace metadata still contributes zero bytes to the modeled
+// SizeBytes cost; this is the real serialization the payload codec uses
+// so causality survives an encode/decode round trip.
+func (tc TraceContext) EncodeBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, tc.Query)
+	dst = binary.AppendUvarint(dst, tc.Span)
+	return binary.AppendUvarint(dst, tc.Parent)
+}
+
+// DecodeBinary consumes one context from b and returns the rest.
+func (tc *TraceContext) DecodeBinary(b []byte) ([]byte, error) {
+	var n int
+	if tc.Query, n = binary.Uvarint(b); n <= 0 {
+		return b, errTruncated
+	}
+	b = b[n:]
+	if tc.Span, n = binary.Uvarint(b); n <= 0 {
+		return b, errTruncated
+	}
+	b = b[n:]
+	if tc.Parent, n = binary.Uvarint(b); n <= 0 {
+		return b, errTruncated
+	}
+	return b[n:], nil
+}

@@ -1,0 +1,129 @@
+// Package wirebin holds the primitive append/consume helpers shared by the
+// hand-rolled binary payload codecs (ROADMAP item 1: replace the
+// reflection-driven gob codec on the hot payload families). Encoders are
+// append-style — `dst = wirebin.AppendString(dst, s)` — so one buffer,
+// sized up front from SizeBytes, serves a whole payload; decoders consume
+// a prefix and return the rest, so composite decoders thread one slice
+// through their fields without re-slicing arithmetic.
+//
+// The encoding is deterministic by construction: varints for integers
+// (zig-zag for signed values), length-prefixed raw bytes for strings, and
+// no map iteration anywhere without an explicit sort in the caller.
+package wirebin
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrTruncated reports input that ends inside a value.
+var ErrTruncated = errors.New("wirebin: truncated input")
+
+// ErrOverflow reports a varint that does not fit its target width.
+var ErrOverflow = errors.New("wirebin: varint overflow")
+
+// maxLen bounds decoded string/collection lengths: a corrupt or hostile
+// length prefix must not drive a giant allocation before the (shorter)
+// input runs out.
+const maxLen = 1 << 30
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint consumes an unsigned varint.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		if n == 0 {
+			return 0, b, ErrTruncated
+		}
+		return 0, b, ErrOverflow
+	}
+	return v, b[n:], nil
+}
+
+// AppendVarint appends a zig-zag signed varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// Varint consumes a zig-zag signed varint.
+func Varint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		if n == 0 {
+			return 0, b, ErrTruncated
+		}
+		return 0, b, ErrOverflow
+	}
+	return v, b[n:], nil
+}
+
+// AppendInt appends an int as a zig-zag varint (ints on the wire may be
+// negative: posting frequency deltas encode retractions).
+func AppendInt(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// Int consumes an int appended by AppendInt.
+func Int(b []byte) (int, []byte, error) {
+	v, rest, err := Varint(b)
+	return int(v), rest, err
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// String consumes a length-prefixed string.
+func String(b []byte) (string, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if n > maxLen || uint64(len(rest)) < n {
+		return "", b, ErrTruncated
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// AppendBool appends a boolean as one byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Bool consumes a boolean.
+func Bool(b []byte) (bool, []byte, error) {
+	if len(b) == 0 {
+		return false, b, ErrTruncated
+	}
+	switch b[0] {
+	case 0:
+		return false, b[1:], nil
+	case 1:
+		return true, b[1:], nil
+	default:
+		return false, b, errors.New("wirebin: invalid boolean byte")
+	}
+}
+
+// Len consumes a collection length prefix, bounds-checking it against the
+// remaining input so a corrupt prefix cannot drive a giant preallocation
+// (each element needs at least one input byte).
+func Len(b []byte) (int, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return 0, b, err
+	}
+	if n > maxLen || uint64(len(rest)) < n {
+		return 0, b, ErrTruncated
+	}
+	return int(n), rest, nil
+}
