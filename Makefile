@@ -17,7 +17,7 @@ lint:
 
 # Per-package rules only: skips the whole-program analyses (lock-order,
 # lock-blocking's interprocedural half, rpc-protocol, payload-size,
-# wireiso, vtime), which load the full module. Quick pre-commit check;
+# wireiso, vtime, alloc, codec, faultpath), which load the full module. Quick pre-commit check;
 # CI and `make lint` always run everything.
 lint-fast:
 	$(GO) run ./cmd/adhoclint -rules guarded-field,determinism,goroutine-hygiene,discarded-error ./...
@@ -31,11 +31,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Regenerate BENCH_PR6.json: E2 publish, E9 end-to-end query, and the
-# binary-vs-gob codec pairs measured in the same run. The test fails if
-# the binary codec stops beating the gob baseline on allocs/op.
+# Regenerate BENCH_PR7.json: E2 publish, the E9 end-to-end query both
+# fault-free and under 1% deterministic message loss (the overhead of the
+# retry machinery), and the binary-vs-gob codec pairs measured in the
+# same run. The test fails if the binary codec stops beating the gob
+# baseline on allocs/op.
 bench-json:
-	BENCH_JSON=$(CURDIR)/BENCH_PR6.json $(GO) test -run '^TestWriteBenchJSON$$' -count=1 -v .
+	BENCH_JSON=$(CURDIR)/BENCH_PR7.json $(GO) test -run '^TestWriteBenchJSON$$' -count=1 -v .
 
 # Short coverage-guided fuzz pass over the text front ends and the wire
 # codec; CI runs the same targets as a smoke stage. Crashers land in

@@ -8,11 +8,13 @@ package adhocshare
 // gob baseline (dqp.EncodePayloadGob) — same payload, same run, so the
 // allocs/op and ns/op columns are directly comparable.
 //
-// TestWriteBenchJSON re-runs those pairs plus the E2 publish and E9
-// end-to-end query experiments under testing.Benchmark and writes the
-// per-scenario numbers (ns/op, allocs/op, bytes/op, ops/sec) to the file
-// named by the BENCH_JSON environment variable; without it the test
-// skips, so plain `go test ./...` stays fast.
+// TestWriteBenchJSON re-runs those pairs plus the E2 publish and the E9
+// end-to-end query experiments — the latter both fault-free and under 1%
+// deterministic message loss, so the retry machinery's overhead is a
+// tracked number — under testing.Benchmark and writes the per-scenario
+// numbers (ns/op, allocs/op, bytes/op, ops/sec) to the file named by the
+// BENCH_JSON environment variable; without it the test skips, so plain
+// `go test ./...` stays fast.
 
 import (
 	"encoding/json"
@@ -136,7 +138,7 @@ func runScenario(name string, fn func(b *testing.B)) benchScenario {
 	}
 }
 
-// TestWriteBenchJSON regenerates BENCH_PR6.json. It runs only when
+// TestWriteBenchJSON regenerates BENCH_PR7.json. It runs only when
 // BENCH_JSON names the output path (`make bench-json` sets it), and fails
 // if the binary codec does not beat the gob baseline on allocs/op for the
 // fabric hot paths — the measured claim the committed file records.
@@ -154,6 +156,16 @@ func TestWriteBenchJSON(t *testing.T) {
 	scenarios = append(scenarios, runScenario("e9_query", func(b *testing.B) {
 		b.ReportAllocs()
 		benchExperiment(b, experiments.E9Fig4EndToEnd)
+	}))
+	// The same E9 sweep under 1% deterministic message loss: the delta
+	// against e9_query is the cost of the retry/fallback machinery plus
+	// the FailTimeouts charged for discovering lost messages.
+	scenarios = append(scenarios, runScenario("e9_query_loss1pct", func(b *testing.B) {
+		b.ReportAllocs()
+		benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
+			p.FaultRate = 0.01
+			return experiments.E9Fig4EndToEnd(p)
+		})
 	}))
 	for _, c := range codecScenarios() {
 		c := c

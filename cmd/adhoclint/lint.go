@@ -23,7 +23,7 @@ func (d Diagnostic) String() string {
 var ruleNames = []string{
 	ruleGuarded, ruleLockBlocking, ruleLockOrder, ruleRPCProto, rulePayloadSize,
 	ruleDeterminism, ruleGoroutine, ruleDiscardedError, ruleWireIso, ruleVTime,
-	ruleAlloc, ruleCodec,
+	ruleAlloc, ruleCodec, ruleFaultPath,
 }
 
 const (
@@ -39,6 +39,7 @@ const (
 	ruleVTime          = "vtime"
 	ruleAlloc          = "alloc"
 	ruleCodec          = "codec"
+	ruleFaultPath      = "faultpath"
 )
 
 // ruleDocs gives each rule its one-line description, shown by -list and
@@ -56,6 +57,7 @@ var ruleDocs = map[string]string{
 	ruleVTime:          "concurrency in internal/ must flow through the simnet timing model: no goroutine fan-out over fabric calls outside simnet.Parallel, no fabricated or dropped VTime in handlers, no order-dependent Parallel bodies",
 	ruleAlloc:          "no avoidable per-message heap allocation (fmt.Sprintf, string accumulation, unsized container growth, interface boxing, closures in loops) in functions reachable from HandleCall dispatch or fabric calls; cold helpers carry //adhoclint:hotexempt",
 	ruleCodec:          "every RPC wire type must be gob-registered and either carry a field-complete EncodeBinary/DecodeBinary pair wired into the codec dispatch or an explaining //adhoclint:gobfallback directive",
+	ruleFaultPath:      "every fabric interaction must declare its failure disposition: discarded errors need faultpath(fire-and-forget), Parallel fan-outs declare abort-all or collect-partial, mutate-then-send paths declare compensated, retried handlers deduplicate and declare idempotent, Retry closures depart at the attempt time",
 }
 
 // LintPackage runs every enabled rule over one package and returns the
@@ -96,6 +98,7 @@ func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
 	diags = append(diags, checkVTime(prog, enabled)...)
 	diags = append(diags, checkAlloc(prog, enabled)...)
 	diags = append(diags, checkCodec(prog, enabled)...)
+	diags = append(diags, checkFaultPath(prog, enabled)...)
 	ignores := map[ignoreKey][]string{}
 	for _, p := range prog.Pkgs {
 		collectIgnores(p, ignores)
@@ -254,6 +257,12 @@ func isRuleName(s string) bool {
 func internalPackage(p *Package) bool {
 	return strings.Contains(p.ImportPath, "/internal/") ||
 		strings.HasSuffix(p.ImportPath, "/internal")
+}
+
+// cmdPackage reports whether the package lives under the module's cmd/
+// tree — included in the faultpath and vtime whole-program scopes.
+func cmdPackage(p *Package, modPath string) bool {
+	return strings.HasPrefix(p.ImportPath, modPath+"/cmd/")
 }
 
 // recvName returns the receiver identifier of a method declaration, or ""

@@ -266,12 +266,12 @@ func TestWireRulesCleanOnRealTree(t *testing.T) {
 		t.Skip("skipping whole-module load in -short mode")
 	}
 	var buf strings.Builder
-	n, err := run([]string{"./..."}, rules(ruleWireIso, ruleVTime, ruleAlloc, ruleCodec), "", &buf)
+	n, err := run([]string{"./..."}, rules(ruleWireIso, ruleVTime, ruleAlloc, ruleCodec, ruleFaultPath), "", &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if n != 0 {
-		t.Errorf("expected zero wireiso/vtime/alloc/codec findings on the real tree, got %d:\n%s", n, buf.String())
+		t.Errorf("expected zero wireiso/vtime/alloc/codec/faultpath findings on the real tree, got %d:\n%s", n, buf.String())
 	}
 }
 
@@ -342,6 +342,48 @@ func diagDump(diags []Diagnostic) string {
 
 func TestCodecRule(t *testing.T) {
 	checkProgramFixture(t, "codec", "adhocshare/internal/fixture/codec", rules(ruleCodec))
+}
+
+func TestFaultPathRule(t *testing.T) {
+	checkProgramFixture(t, "faultpath", "adhocshare/internal/fixture/faultpath", rules(ruleFaultPath))
+}
+
+// The faultpath rule covers internal/ and cmd/ packages only; the same
+// fixture loaded outside both trees must stay silent.
+func TestFaultPathSkipsOutOfScope(t *testing.T) {
+	prog := loadFixtureProgram(t, "faultpath", "adhocshare/fixture/faultpath")
+	if diags := LintProgram(prog, rules(ruleFaultPath)); len(diags) != 0 {
+		t.Errorf("out-of-scope package should be exempt, got %d diagnostics:\n%s", len(diags), diagDump(diags))
+	}
+}
+
+// Faultpath findings carry witnesses: the mutate-before-send finding names
+// the call chain carrying the mutation, and the retried-handler finding
+// names the Retry site's enclosing function.
+func TestFaultPathWitnessChains(t *testing.T) {
+	prog := loadFixtureProgram(t, "faultpath", "adhocshare/internal/fixture/faultpath")
+	diags := LintProgram(prog, rules(ruleFaultPath))
+	cases := []struct{ finding, witness string }{
+		{"via faultpath.(*Node).registerVia", "faultpath.(*Node).registerVia → faultpath.(*Node).register"},
+		{`MethodPut ("fp.put") is retried from`, "faultpath.(*Node).StoreAll"},
+	}
+	for _, c := range cases {
+		var found *Diagnostic
+		for _, d := range diags {
+			if strings.Contains(d.Msg, c.finding) {
+				d := d
+				found = &d
+				break
+			}
+		}
+		if found == nil {
+			t.Errorf("no diagnostic containing %q; got:\n%s", c.finding, diagDump(diags))
+			continue
+		}
+		if !strings.Contains(found.Msg, c.witness) {
+			t.Errorf("diagnostic %q lacks witness %q:\n%s", c.finding, c.witness, found.Msg)
+		}
+	}
 }
 
 // The -list output is pinned by a golden file so rule renames/additions

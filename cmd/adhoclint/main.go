@@ -41,6 +41,17 @@
 //	                   either carry a field-complete EncodeBinary/
 //	                   DecodeBinary pair wired into the codec dispatch or
 //	                   an explaining //adhoclint:gobfallback directive
+//	faultpath          every fabric interaction declares its failure
+//	                   disposition: discarded errors carry
+//	                   //adhoclint:faultpath(fire-and-forget, reason),
+//	                   simnet.Parallel fan-outs declare abort-all or
+//	                   collect-partial, state mutated before a fallible
+//	                   send needs a compensation path (compensated) or a
+//	                   failure-benign declaration (benign), methods
+//	                   retried via simnet.Retry whose handlers mutate
+//	                   node state deduplicate and declare idempotent on
+//	                   their Method* constants, and Retry closures depart
+//	                   fabric calls at the attempt-time parameter
 //
 // Usage:
 //

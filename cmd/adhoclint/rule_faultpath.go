@@ -1,0 +1,894 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The fault-soundness analysis (rule "faultpath") classifies every fabric
+// interaction by its failure disposition and checks that the disposition
+// is either evident from the code or declared with an
+// //adhoclint:faultpath(disposition, reason) directive. Deterministic
+// fault injection (simnet.FaultPlan) makes every Call/Send/Transfer
+// fallible; this rule makes the tree say, site by site, what happens when
+// one fails:
+//
+//   - a fabric call whose error is discarded is a fire-and-forget
+//     notification and must say so: //adhoclint:faultpath(fire-and-forget,
+//     reason) on the call's line or the line above;
+//   - a function that mutates caller-visible state (its receiver, a
+//     pointer/map/slice argument, or anything derived from them) before a
+//     fallible send whose error it propagates must carry a compensation
+//     path, declared //adhoclint:faultpath(compensated, reason) on its
+//     declaration — otherwise a failure surfaces with the mutation already
+//     applied and nobody rolls it back;
+//   - every simnet.Parallel fan-out must declare whether one failed branch
+//     aborts the whole operation (abort-all) or the survivors' results are
+//     kept (collect-partial, with the repair story as the reason);
+//   - a method invoked inside simnet.Retry is re-delivered after lost
+//     replies, so its handler must be read-only — or deduplicate
+//     re-deliveries and carry //adhoclint:faultpath(idempotent, reason) on
+//     its Method* constant;
+//   - the operation closure handed to simnet.Retry receives the attempt
+//     time as its parameter; its fabric calls must depart at that time, or
+//     the FailTimeout charged to failed attempts never reaches the
+//     critical path.
+//
+// A function whose writes are harmless when the surrounding operation
+// fails — monotone counters and ID allocators, cache fills and
+// invalidations, memoized views, deterministic repair — declares
+// //adhoclint:faultpath(benign, reason) on its declaration; calls to it do
+// not count as mutations for the mutate-before-send and retried-handler
+// checks.
+//
+// Dispositions: fire-and-forget, abort-all, collect-partial, idempotent,
+// compensated, benign. All but abort-all require a reason. The rule covers
+// internal/ and cmd/ packages except internal/simnet (the fault model
+// itself), internal/experiments (drivers own the whole simulated world; an
+// aborted run leaves no surviving state to compensate) and cmd/adhoclint.
+
+// faultPathPrefix is the directive spelling, sans the comment markers.
+const faultPathPrefix = "adhoclint:faultpath"
+
+// The faultpath dispositions.
+const (
+	dispFireAndForget  = "fire-and-forget"
+	dispAbortAll       = "abort-all"
+	dispCollectPartial = "collect-partial"
+	dispIdempotent     = "idempotent"
+	dispCompensated    = "compensated"
+	dispBenign         = "benign"
+)
+
+var faultDispositions = []string{
+	dispFireAndForget, dispAbortAll, dispCollectPartial, dispIdempotent, dispCompensated, dispBenign,
+}
+
+// faultDirective is one parsed //adhoclint:faultpath(...) comment.
+type faultDirective struct {
+	disposition string
+	reason      string
+	pkg         *Package
+	pos         token.Pos
+}
+
+// collectFaultDirectives indexes every faultpath directive of the given
+// packages by the file:line it sits on. A malformed directive (no
+// parenthesized disposition) is recorded with an empty disposition so the
+// validator can complain about it.
+func collectFaultDirectives(pkgs []*Package) map[ignoreKey]*faultDirective {
+	out := map[ignoreKey]*faultDirective{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, faultPathPrefix)
+					if !ok {
+						continue
+					}
+					d := parseFaultDirective(rest)
+					d.pkg = p
+					d.pos = c.Pos()
+					pos := p.Fset.Position(c.Pos())
+					out[ignoreKey{pos.Filename, pos.Line}] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseFaultDirective parses "(disposition, reason)"; the reason may
+// itself contain commas and parentheses.
+func parseFaultDirective(rest string) *faultDirective {
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "(") {
+		return &faultDirective{}
+	}
+	body := rest[1:]
+	if i := strings.LastIndex(body, ")"); i >= 0 {
+		body = body[:i]
+	}
+	disp, reason, _ := strings.Cut(body, ",")
+	return &faultDirective{
+		disposition: strings.TrimSpace(disp),
+		reason:      strings.TrimSpace(reason),
+	}
+}
+
+// checkFaultPath runs the faultpath rule over the program.
+func checkFaultPath(prog *Program, enabled map[string]bool) []Diagnostic {
+	if enabled != nil && !enabled[ruleFaultPath] {
+		return nil
+	}
+	c := &faultpathChecker{
+		prog:       prog,
+		simnetPath: prog.modPath + "/internal/simnet",
+		analyzed:   prog.analyzedSet(),
+		decls:      map[*types.Func]*wireDecl{},
+		touches:    map[*types.Func]bool{},
+		mutates:    map[*types.Func]*mutInfo{},
+		retried:    map[string][]*retrySite{},
+	}
+	if simnet := prog.simnetTypes(); simnet != nil {
+		if obj := simnet.Scope().Lookup("Payload"); obj != nil {
+			c.payload, _ = obj.Type().Underlying().(*types.Interface)
+		}
+	}
+	c.collectDecls()
+	c.computeTouches()
+	c.computeMutates()
+	c.directives = collectFaultDirectives(c.prog.loadedPackages())
+	c.validateDirectives()
+	for _, p := range prog.Pkgs {
+		if p.Info == nil || !c.inScope(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				c.checkDiscardedErrors(p, fn)
+				c.checkMutateBeforeSend(p, fn)
+				c.checkParallelSites(p, fn)
+				c.checkRetrySites(p, fn)
+			}
+		}
+	}
+	c.checkRetriedHandlers()
+	sortDiagnostics(c.diags)
+	return c.diags
+}
+
+type faultpathChecker struct {
+	prog       *Program
+	simnetPath string
+	analyzed   map[*Package]bool
+	payload    *types.Interface
+	decls      map[*types.Func]*wireDecl
+	touches    map[*types.Func]bool // transitively performs a fabric call
+	mutates    map[*types.Func]*mutInfo
+	directives map[ignoreKey]*faultDirective
+	retried    map[string][]*retrySite // method wire string → Retry sites
+	diags      []Diagnostic
+}
+
+// mutInfo records how a function mutates caller-visible state: a direct
+// write, or a call into another mutating function.
+type mutInfo struct {
+	pos token.Pos
+	via *types.Func // nil when the write is direct
+}
+
+// retrySite is one simnet.Retry call whose closure invokes a method.
+type retrySite struct {
+	pkg  *Package
+	pos  token.Pos
+	encl *types.Func
+}
+
+// inScope limits the rule to internal/ and cmd/ packages, excluding the
+// fault model itself, the experiment drivers and the linter.
+func (c *faultpathChecker) inScope(p *Package) bool {
+	mod := c.prog.modPath
+	switch p.ImportPath {
+	case mod + "/internal/simnet", mod + "/internal/experiments", mod + "/cmd/adhoclint":
+		return false
+	}
+	return internalPackage(p) || cmdPackage(p, mod)
+}
+
+func (c *faultpathChecker) collectDecls() {
+	for _, p := range c.prog.loadedPackages() {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					c.decls[obj] = &wireDecl{pkg: p, decl: fn}
+				}
+			}
+		}
+	}
+}
+
+// computeTouches closes "performs a fabric call" over static calls — the
+// same fixpoint the vtime rule runs, rebuilt here so the rules stay
+// independently testable.
+func (c *faultpathChecker) computeTouches() {
+	for obj, d := range c.decls {
+		direct := false
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fabricCallAt(d.pkg, call, c.simnetPath) != nil {
+					direct = true
+				}
+			}
+			return true
+		})
+		c.touches[obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, d := range c.decls {
+			if c.touches[obj] {
+				continue
+			}
+			reached := false
+			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+				if reached {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil &&
+						!inTracePackage(callee, c.prog.modPath) && c.touches[callee] {
+						reached = true
+					}
+				}
+				return true
+			})
+			if reached {
+				c.touches[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// computeMutates closes "mutates caller-visible state" over static calls.
+// Functions declared faultpath(benign, ...) are excluded: their writes are
+// harmless when the surrounding operation fails.
+func (c *faultpathChecker) computeMutates() {
+	for changed := true; changed; {
+		changed = false
+		for obj, d := range c.decls {
+			if c.mutates[obj] != nil {
+				continue
+			}
+			if fd := c.funcDirective(d.pkg, d.decl); fd != nil && fd.disposition == dispBenign {
+				continue
+			}
+			if m := c.firstMutation(d.pkg, d.decl.Body, c.declTaint(d.pkg, d.decl)); m != nil {
+				c.mutates[obj] = m
+				changed = true
+			}
+		}
+	}
+}
+
+// declTaint seeds the caller-visible roots of a declaration: the receiver
+// and every parameter of pointer, map or slice type.
+func (c *faultpathChecker) declTaint(p *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	taint := map[types.Object]bool{}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					taint[obj] = true
+				}
+			}
+		}
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer, *types.Map, *types.Slice:
+				taint[obj] = true
+			}
+		}
+	}
+	return taint
+}
+
+// firstMutation finds the earliest write to caller-visible state inside
+// body: a direct assignment/delete through a tainted root, or a call into
+// a mutating function on a tainted receiver or argument. Locals derived
+// from tainted roots are tainted too; locals built fresh are not.
+func (c *faultpathChecker) firstMutation(p *Package, body ast.Node, taint map[types.Object]bool) *mutInfo {
+	// Propagate taint through derivations: `node := s.nodes[addr]` makes
+	// node an alias of receiver state.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr) {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := defOrUse(p.Info, id); obj != nil && !taint[obj] {
+						taint[obj] = true
+						changed = true
+					}
+				}
+			}
+			derived := func(rhs ast.Expr) bool {
+				switch unparen(rhs).(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.UnaryExpr:
+					obj := exprRootObj(p.Info, rhs)
+					return obj != nil && taint[obj]
+				}
+				return false
+			}
+			if len(asg.Rhs) == 1 && len(asg.Lhs) > 1 {
+				if derived(asg.Rhs[0]) {
+					for _, lhs := range asg.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				if i < len(asg.Rhs) && derived(asg.Rhs[i]) {
+					mark(lhs)
+				}
+			}
+			return true
+		})
+	}
+
+	var first *mutInfo
+	record := func(m *mutInfo) {
+		if first == nil || m.pos < first.pos {
+			first = m
+		}
+	}
+	rootTainted := func(e ast.Expr) bool {
+		obj := exprRootObj(p.Info, e)
+		return obj != nil && taint[obj]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if rootTainted(lhs) {
+						record(&mutInfo{pos: lhs.Pos()})
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			switch unparen(n.X).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				if rootTainted(n.X) {
+					record(&mutInfo{pos: n.X.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if rootTainted(n.Args[0]) {
+					record(&mutInfo{pos: n.Pos()})
+				}
+				return true
+			}
+			callee, _ := staticCallee(p.Info, n)
+			if callee == nil || c.mutates[callee] == nil {
+				return true
+			}
+			hit := false
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && rootTainted(sel.X) {
+				hit = true
+			}
+			for _, arg := range n.Args {
+				if hit {
+					break
+				}
+				if rootTainted(arg) {
+					hit = true
+				}
+			}
+			if hit {
+				record(&mutInfo{pos: n.Pos(), via: callee})
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// mutChain renders how a mutation reaches its write: "via A → B" for
+// call-carried mutations, "" for direct writes.
+func (c *faultpathChecker) mutChain(m *mutInfo) string {
+	if m == nil || m.via == nil {
+		return ""
+	}
+	var chain []string
+	for cur := m.via; cur != nil; {
+		chain = append(chain, funcDisplay(cur))
+		next := c.mutates[cur]
+		if next == nil || next.via == nil || len(chain) > witnessMaxHops {
+			break
+		}
+		cur = next.via
+	}
+	return " (via " + strings.Join(chain, " → ") + ")"
+}
+
+// directiveAt returns the faultpath directive on the position's line or
+// the line directly above, if any.
+func (c *faultpathChecker) directiveAt(p *Package, pos token.Pos) *faultDirective {
+	position := p.Fset.Position(pos)
+	if d, ok := c.directives[ignoreKey{position.Filename, position.Line}]; ok {
+		return d
+	}
+	if d, ok := c.directives[ignoreKey{position.Filename, position.Line - 1}]; ok {
+		return d
+	}
+	return nil
+}
+
+// funcDirective returns the faultpath directive attached to a function
+// declaration: in its doc comment, or on the line above the declaration.
+func (c *faultpathChecker) funcDirective(p *Package, fn *ast.FuncDecl) *faultDirective {
+	if fn.Doc != nil {
+		for _, cm := range fn.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, faultPathPrefix); ok {
+				d := parseFaultDirective(rest)
+				d.pkg = p
+				d.pos = cm.Pos()
+				return d
+			}
+		}
+	}
+	return c.directiveAt(p, fn.Pos())
+}
+
+// validateDirectives reports malformed directives of the analyzed,
+// in-scope packages: unknown dispositions and missing reasons. abort-all
+// is self-explanatory; every other disposition states a claim the code
+// cannot show and must say why it holds.
+func (c *faultpathChecker) validateDirectives() {
+	for _, d := range c.directives {
+		if !c.analyzed[d.pkg] || !c.inScope(d.pkg) {
+			continue
+		}
+		known := false
+		for _, disp := range faultDispositions {
+			if d.disposition == disp {
+				known = true
+			}
+		}
+		if !known {
+			c.report(d.pkg, d.pos, fmt.Sprintf(
+				"unknown faultpath disposition %q (have: %s)",
+				d.disposition, strings.Join(faultDispositions, ", ")))
+			continue
+		}
+		if d.reason == "" && d.disposition != dispAbortAll {
+			c.report(d.pkg, d.pos, fmt.Sprintf(
+				"faultpath(%s) requires a reason explaining why the disposition is sound", d.disposition))
+		}
+	}
+}
+
+// checkDiscardedErrors flags fabric calls whose error result is dropped
+// without a fire-and-forget declaration.
+func (c *faultpathChecker) checkDiscardedErrors(p *Package, fn *ast.FuncDecl) {
+	handled := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			rhs, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fc := fabricCallAt(p, rhs, c.simnetPath)
+			if fc == nil {
+				return true
+			}
+			handled[rhs] = true
+			errPos := 1 // Send/Transfer: (VTime, error)
+			if fc.kind == "Call" {
+				errPos = 2 // (Payload, VTime, error)
+			}
+			if errPos >= len(n.Lhs) || !isBlankIdent(n.Lhs[errPos]) {
+				return true
+			}
+			call = rhs
+		case *ast.ExprStmt:
+			rhs, ok := n.X.(*ast.CallExpr)
+			if !ok || handled[rhs] || fabricCallAt(p, rhs, c.simnetPath) == nil {
+				return true
+			}
+			call = rhs
+		default:
+			return true
+		}
+		fc := fabricCallAt(p, call, c.simnetPath)
+		d := c.directiveAt(p, call.Pos())
+		switch {
+		case d == nil:
+			c.report(p, call.Pos(), fmt.Sprintf(
+				"the error of %s of %q is discarded with no declared fault disposition; handle it or annotate //adhoclint:faultpath(fire-and-forget, reason)",
+				fc.kind, fc.value))
+		case d.disposition != dispFireAndForget:
+			c.report(p, call.Pos(), fmt.Sprintf(
+				"faultpath(%s) does not cover a discarded error; a deliberately unacknowledged %s needs faultpath(fire-and-forget, reason)",
+				d.disposition, fc.kind))
+		}
+		return true
+	})
+}
+
+// isBlankIdent reports whether the expression is the blank identifier.
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkMutateBeforeSend flags functions that mutate caller-visible state
+// and afterwards perform a fallible send whose error they propagate,
+// without declaring a compensation path. Handlers are exempt: their
+// mutation is the operation itself, and the retried-handler check governs
+// their re-delivery semantics.
+func (c *faultpathChecker) checkMutateBeforeSend(p *Package, fn *ast.FuncDecl) {
+	if fn.Name.Name == "HandleCall" || handlerShape(p, fn, c.simnetPath, c.payload) {
+		return
+	}
+	if !returnsError(p, fn) {
+		return
+	}
+	if d := c.funcDirective(p, fn); d != nil &&
+		(d.disposition == dispCompensated || d.disposition == dispBenign) {
+		return
+	}
+	mut := c.firstMutation(p, fn.Body, c.declTaint(p, fn))
+	if mut == nil {
+		return
+	}
+	site, desc := c.firstFallibleAfter(p, fn, mut.pos)
+	if site == token.NoPos {
+		return
+	}
+	c.report(p, site, fmt.Sprintf(
+		"caller-visible state is mutated at line %d%s before this fallible %s; a failure surfaces with the mutation applied — add a compensation path and annotate the function //adhoclint:faultpath(compensated, reason)",
+		p.Fset.Position(mut.pos).Line, c.mutChain(mut), desc))
+}
+
+// returnsError reports whether the declaration's last result is an error.
+func returnsError(p *Package, fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	t := p.Info.Types[res.List[len(res.List)-1].Type].Type
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// firstFallibleAfter finds the earliest fabric call, simnet.Retry, or
+// call into a fabric-touching module function after pos whose error the
+// caller captures (and can therefore propagate).
+func (c *faultpathChecker) firstFallibleAfter(p *Package, fn *ast.FuncDecl, pos token.Pos) (token.Pos, string) {
+	best := token.NoPos
+	desc := ""
+	record := func(at token.Pos, d string) {
+		if best == token.NoPos || at < best {
+			best, desc = at, d
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) == 0 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || call.Pos() <= pos || isBlankIdent(asg.Lhs[len(asg.Lhs)-1]) {
+			return true
+		}
+		if fc := fabricCallAt(p, call, c.simnetPath); fc != nil {
+			record(call.Pos(), fmt.Sprintf("%s of %q", fc.kind, fc.value))
+			return true
+		}
+		callee, _ := staticCallee(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Name() == "Retry" && callee.Pkg() != nil && callee.Pkg().Path() == c.simnetPath {
+			record(call.Pos(), "simnet.Retry")
+			return true
+		}
+		if c.touches[callee] && calleeReturnsError(callee) {
+			record(call.Pos(), "call to "+funcDisplay(callee))
+		}
+		return true
+	})
+	return best, desc
+}
+
+// calleeReturnsError reports whether the function's last result is error.
+func calleeReturnsError(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(sig.Results().Len()-1).Type(),
+		types.Universe.Lookup("error").Type())
+}
+
+// checkParallelSites requires every simnet.Parallel fan-out to declare
+// abort-all or collect-partial.
+func (c *faultpathChecker) checkParallelSites(p *Package, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := staticCallee(p.Info, call)
+		if callee == nil || callee.Name() != "Parallel" ||
+			callee.Pkg() == nil || callee.Pkg().Path() != c.simnetPath {
+			return true
+		}
+		d := c.directiveAt(p, call.Pos())
+		switch {
+		case d == nil:
+			c.report(p, call.Pos(),
+				"simnet.Parallel fan-out must declare its failure semantics: annotate //adhoclint:faultpath(abort-all) or //adhoclint:faultpath(collect-partial, reason)")
+		case d.disposition != dispAbortAll && d.disposition != dispCollectPartial:
+			c.report(p, call.Pos(), fmt.Sprintf(
+				"faultpath(%s) does not apply to a Parallel fan-out; declare abort-all or collect-partial", d.disposition))
+		}
+		return true
+	})
+}
+
+// checkRetrySites resolves every simnet.Retry call: the closure must
+// depart its fabric calls at the attempt-time parameter (so FailTimeout
+// accumulates), and the methods it invokes are recorded for the
+// idempotence cross-check.
+func (c *faultpathChecker) checkRetrySites(p *Package, fn *ast.FuncDecl) {
+	encl, _ := p.Info.Defs[fn.Name].(*types.Func)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := staticCallee(p.Info, call)
+		if callee == nil || callee.Name() != "Retry" ||
+			callee.Pkg() == nil || callee.Pkg().Path() != c.simnetPath ||
+			len(call.Args) != 3 {
+			return true
+		}
+		lit := resolveOpLiteral(p, fn, call.Args[2])
+		if lit == nil {
+			return true
+		}
+		var atParam types.Object
+		if len(lit.Type.Params.List) > 0 {
+			field := lit.Type.Params.List[0]
+			if isNamedType(p.Info.Types[field.Type].Type, c.simnetPath, "VTime") && len(field.Names) > 0 {
+				atParam = p.Info.Defs[field.Names[0]]
+			}
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			inner, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fc := fabricCallAt(p, inner, c.simnetPath)
+			if fc == nil {
+				return true
+			}
+			if fc.value != "" && fc.kind != "Transfer" {
+				c.retried[fc.value] = append(c.retried[fc.value],
+					&retrySite{pkg: p, pos: call.Pos(), encl: encl})
+			}
+			if atParam != nil && len(inner.Args) >= 5 && !referencesObj(p, inner.Args[4], atParam) {
+				c.report(p, inner.Pos(), fmt.Sprintf(
+					"fabric call inside a simnet.Retry closure ignores the closure's attempt-time parameter %q; failed attempts would not accumulate FailTimeout on the critical path",
+					atParam.Name()))
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// resolveOpLiteral finds the function literal behind a Retry operation
+// argument: the literal itself, or the hoisted closure a local identifier
+// was assigned (the allocation-free loop pattern).
+func resolveOpLiteral(p *Package, fn *ast.FuncDecl, arg ast.Expr) *ast.FuncLit {
+	switch a := unparen(arg).(type) {
+	case *ast.FuncLit:
+		return a
+	case *ast.Ident:
+		obj := defOrUse(p.Info, a)
+		if obj == nil {
+			return nil
+		}
+		var lit *ast.FuncLit
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || defOrUse(p.Info, id) != obj || i >= len(asg.Rhs) {
+					continue
+				}
+				if l, ok := unparen(asg.Rhs[i]).(*ast.FuncLit); ok {
+					lit = l
+				}
+			}
+			return true
+		})
+		return lit
+	}
+	return nil
+}
+
+// referencesObj reports whether the expression mentions the object.
+func referencesObj(p *Package, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && defOrUse(p.Info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRetriedHandlers cross-checks every retried method against its
+// dispatch handler: a handler that mutates node state is re-run on a lost
+// reply, so it must deduplicate and carry an idempotent declaration on
+// its Method* constant.
+func (c *faultpathChecker) checkRetriedHandlers() {
+	if len(c.retried) == 0 {
+		return
+	}
+	loaded := c.prog.loadedPackages()
+	constsByValue := map[string]*methodConst{}
+	for _, mc := range collectMethodConsts(loaded) {
+		if _, ok := constsByValue[mc.value]; !ok {
+			constsByValue[mc.value] = mc
+		}
+	}
+	caseMuts := c.handlerCaseMutations(loaded)
+
+	values := make([]string, 0, len(c.retried))
+	for v := range c.retried {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, value := range values {
+		mut, ok := caseMuts[value]
+		if !ok || mut == nil {
+			continue // handler unknown or read-only
+		}
+		mc := constsByValue[value]
+		if mc != nil {
+			if d := c.directiveAt(mc.pkg, mc.pos); d != nil && d.disposition == dispIdempotent {
+				continue
+			}
+		}
+		sites := c.retried[value]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		site := sites[0]
+		from := "a simnet.Retry site"
+		if site.encl != nil {
+			from = funcDisplay(site.encl)
+		}
+		name := value
+		if mc != nil {
+			name = mc.name
+		}
+		msg := fmt.Sprintf(
+			"%s (%q) is retried from %s but its handler mutates node state%s; deduplicate re-deliveries and annotate the constant //adhoclint:faultpath(idempotent, reason)",
+			name, value, from, c.mutChain(mut))
+		switch {
+		case mc != nil && c.analyzed[mc.pkg] && c.inScope(mc.pkg):
+			c.report(mc.pkg, mc.pos, msg)
+		default:
+			c.report(site.pkg, site.pos, msg)
+		}
+	}
+}
+
+// handlerCaseMutations maps each dispatched method wire string to the
+// mutation its handler case performs (nil for read-only cases). A method
+// dispatched by several handlers keeps the first mutation found.
+func (c *faultpathChecker) handlerCaseMutations(loaded []*Package) map[string]*mutInfo {
+	out := map[string]*mutInfo{}
+	for _, p := range loaded {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Name.Name != "HandleCall" || fn.Body == nil {
+					continue
+				}
+				methodObj, _ := handleCallParams(p, fn)
+				if methodObj == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok {
+						return true
+					}
+					tag, ok := sw.Tag.(*ast.Ident)
+					if !ok || p.Info.Uses[tag] != methodObj {
+						return true
+					}
+					for _, stmt := range sw.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok || cc.List == nil {
+							continue
+						}
+						body := &ast.BlockStmt{List: cc.Body}
+						mut := c.firstMutation(p, body, c.declTaint(p, fn))
+						for _, expr := range cc.List {
+							tv := p.Info.Types[expr]
+							if tv.Value == nil {
+								continue
+							}
+							value := strings.Trim(tv.Value.String(), `"`)
+							if _, seen := out[value]; !seen {
+								out[value] = mut
+							} else if out[value] == nil && mut != nil {
+								out[value] = mut
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (c *faultpathChecker) report(p *Package, pos token.Pos, msg string) {
+	if !c.analyzed[p] {
+		return
+	}
+	c.diags = append(c.diags, diagAt(p, pos, ruleFaultPath, msg))
+}

@@ -26,9 +26,13 @@ import (
 //     write makes the result depend on completion order, which the
 //     deterministic scheduler does not define.
 //
-// The rule applies to internal/ packages except internal/simnet itself
-// (whose Parallel implementation is the one sanctioned use of raw
-// goroutines). Suppress a finding with //adhoclint:ignore vtime(reason).
+// The rule applies to internal/ and cmd/ packages except internal/simnet
+// itself (whose Parallel implementation is the one sanctioned use of raw
+// goroutines) and cmd/adhoclint. Suppress a finding with
+// //adhoclint:ignore vtime(reason). A fabric call declared
+// //adhoclint:faultpath(fire-and-forget, reason) is exempt from the
+// dropped-VTime check: a declared fire-and-forget notification is off the
+// critical path by design, so its charged time has no accounting to join.
 
 // checkVTime runs the vtime rule over the program.
 func checkVTime(prog *Program, enabled map[string]bool) []Diagnostic {
@@ -44,6 +48,7 @@ func checkVTime(prog *Program, enabled map[string]bool) []Diagnostic {
 	}
 	v.collectDecls()
 	v.computeTouches()
+	v.faultDirectives = collectFaultDirectives(prog.loadedPackages())
 	for _, p := range prog.Pkgs {
 		if p.Info == nil || !v.inScope(p) {
 			continue
@@ -66,17 +71,34 @@ func checkVTime(prog *Program, enabled map[string]bool) []Diagnostic {
 }
 
 type vtimeChecker struct {
-	prog       *Program
-	simnetPath string
-	analyzed   map[*Package]bool
-	decls      map[*types.Func]*wireDecl
-	touches    map[*types.Func]bool // transitively performs a fabric call
-	diags      []Diagnostic
+	prog            *Program
+	simnetPath      string
+	analyzed        map[*Package]bool
+	decls           map[*types.Func]*wireDecl
+	touches         map[*types.Func]bool // transitively performs a fabric call
+	faultDirectives map[ignoreKey]*faultDirective
+	diags           []Diagnostic
 }
 
-// inScope limits the rule to internal/ packages outside internal/simnet.
+// inScope limits the rule to internal/ and cmd/ packages outside
+// internal/simnet and the linter itself.
 func (v *vtimeChecker) inScope(p *Package) bool {
-	return internalPackage(p) && p.ImportPath != v.simnetPath
+	if p.ImportPath == v.simnetPath || p.ImportPath == v.prog.modPath+"/cmd/adhoclint" {
+		return false
+	}
+	return internalPackage(p) || cmdPackage(p, v.prog.modPath)
+}
+
+// fireAndForgetAt reports whether the position carries a
+// faultpath(fire-and-forget) declaration on its line or the line above.
+func (v *vtimeChecker) fireAndForgetAt(p *Package, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for off := 0; off >= -1; off-- {
+		if d, ok := v.faultDirectives[ignoreKey{position.Filename, position.Line + off}]; ok {
+			return d.disposition == dispFireAndForget
+		}
+	}
+	return false
 }
 
 func (v *vtimeChecker) collectDecls() {
@@ -317,14 +339,15 @@ func (v *vtimeChecker) checkDroppedVTime(p *Package, fn *ast.FuncDecl) {
 			if donePos >= len(n.Lhs) {
 				return true
 			}
-			if id, ok := n.Lhs[donePos].(*ast.Ident); ok && id.Name == "_" {
+			if id, ok := n.Lhs[donePos].(*ast.Ident); ok && id.Name == "_" &&
+				!v.fireAndForgetAt(p, call.Pos()) {
 				v.report(p, call.Pos(), fmt.Sprintf(
 					"the VTime charged by %s of %q is discarded; thread it into the caller's accounting",
 					fc.kind, fc.value))
 			}
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok && !reported[call] {
-				if fc := fabricCallAt(p, call, v.simnetPath); fc != nil {
+				if fc := fabricCallAt(p, call, v.simnetPath); fc != nil && !v.fireAndForgetAt(p, call.Pos()) {
 					v.report(p, call.Pos(), fmt.Sprintf(
 						"the result of %s of %q (including its charged VTime) is discarded; thread it into the caller's accounting",
 						fc.kind, fc.value))

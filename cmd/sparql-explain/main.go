@@ -17,6 +17,7 @@
 //	sparql-explain -f query.rq
 //	echo 'ASK { ... }' | sparql-explain
 //	sparql-explain -trace -strategy chain 'SELECT ?x WHERE { ... }'
+//	sparql-explain -trace -faultrate 0.01 'SELECT ?x WHERE { ... }'
 //	sparql-explain -trace-json trace.json 'SELECT ?x WHERE { ... }'
 package main
 
@@ -43,6 +44,7 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "execute on the E9 demo deployment and write a Chrome trace_event JSON file")
 	strategy := flag.String("strategy", "chain", "per-pattern strategy for -trace/-trace-json (basic, chain, freq-chain)")
 	seed := flag.Int64("seed", 0, "master seed of the demo deployment (0 = the EXPERIMENTS.md workload)")
+	faultRate := flag.Float64("faultrate", 0, "per-message-leg loss probability injected into the demo deployment after setup (0 = fault-free)")
 	flag.Parse()
 
 	query, err := readQuery(*file, flag.Args())
@@ -82,7 +84,7 @@ func main() {
 	fmt.Printf("operators:  %d → %d\n", algebra.CountOps(op), algebra.CountOps(opt))
 
 	if *doTrace || *traceJSON != "" {
-		if err := runTraced(query, *strategy, *seed, *doTrace, *traceJSON); err != nil {
+		if err := runTraced(query, *strategy, *seed, *faultRate, *doTrace, *traceJSON); err != nil {
 			fail(err)
 		}
 	}
@@ -90,12 +92,12 @@ func main() {
 
 // runTraced executes the query on the E9 demo deployment with tracing on
 // and renders the recorded spans as requested.
-func runTraced(query, strategy string, seed int64, tree bool, jsonPath string) error {
+func runTraced(query, strategy string, seed int64, faultRate float64, tree bool, jsonPath string) error {
 	st, err := dqp.ParseStrategy(strategy)
 	if err != nil {
 		return err
 	}
-	spans, stats, err := experiments.TraceQuery(experiments.Params{Seed: seed}, st, "D00", query)
+	spans, stats, err := experiments.TraceQuery(experiments.Params{Seed: seed, FaultRate: faultRate}, st, "D00", query)
 	if err != nil {
 		return err
 	}

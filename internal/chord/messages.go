@@ -7,15 +7,24 @@ import (
 
 // RPC method names. The "chord." prefix lets experiments separate DHT
 // maintenance and routing traffic from query traffic in simnet metrics.
+// Methods retried after lost messages declare why re-executing their
+// handler is safe (the adhoclint faultpath idempotence cross-check);
+// read-only handlers (get_predecessor, get_successor_list, ping) are
+// proven side-effect-free by the analysis itself.
 const (
-	MethodFindSuccessor      = "chord.find_successor"
+	//adhoclint:faultpath(idempotent, forwarding is a read plus routing-table eviction; evicting the same dead address twice converges to the same tables)
+	MethodFindSuccessor = "chord.find_successor"
+	//adhoclint:faultpath(idempotent, same forwarding-plus-eviction argument as find_successor, applied per sub-batch)
 	MethodFindSuccessorBatch = "chord.find_successor_batch"
 	MethodGetPredecessor     = "chord.get_predecessor"
 	MethodGetSuccList        = "chord.get_successor_list"
-	MethodNotify             = "chord.notify"
-	MethodPing               = "chord.ping"
-	MethodSetPredecessor     = "chord.set_predecessor"
-	MethodSetSuccessor       = "chord.set_successor"
+	//adhoclint:faultpath(idempotent, absolute predecessor-candidate update; re-notifying with the same ref is a no-op)
+	MethodNotify = "chord.notify"
+	MethodPing   = "chord.ping"
+	//adhoclint:faultpath(idempotent, absolute pointer assignment)
+	MethodSetPredecessor = "chord.set_predecessor"
+	//adhoclint:faultpath(idempotent, absolute pointer assignment; the handler strips an existing occurrence before prepending)
+	MethodSetSuccessor = "chord.set_successor"
 )
 
 // SizeBytes returns the fixed 8-byte wire width of a ring identifier.

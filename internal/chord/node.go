@@ -110,8 +110,10 @@ var ErrLookupFailed = errors.New("chord: lookup failed")
 // Join inserts the node into the ring known to exist via the bootstrap
 // address. It returns the virtual completion time.
 func (n *Node) Join(bootstrap simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
-	resp, done, err := n.net.Call(n.addr, bootstrap, MethodFindSuccessor,
-		FindReq{Target: n.id}, at)
+	resp, done, err := simnet.Retry(simnet.DefaultAttempts, at, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return n.net.Call(n.addr, bootstrap, MethodFindSuccessor,
+			FindReq{Target: n.id}, at)
+	})
 	if err != nil {
 		return done, fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}
@@ -176,7 +178,16 @@ func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (s
 		r, _ := req.(Ref)
 		n.mu.Lock()
 		if !r.IsZero() {
-			n.succ = append([]Ref{r}, trimRefs(n.succ, n.cfg.SuccListSize-1)...)
+			// Strip any existing occurrence before prepending so that
+			// re-executing the update (a retried set after a lost reply)
+			// leaves the list unchanged rather than accumulating duplicates.
+			rest := make([]Ref, 0, len(n.succ))
+			for _, s := range n.succ {
+				if s.Addr != r.Addr {
+					rest = append(rest, s)
+				}
+			}
+			n.succ = append([]Ref{r}, trimRefs(rest, n.cfg.SuccListSize-1)...)
 		}
 		n.mu.Unlock()
 		return simnet.Bytes(1), at, nil
@@ -216,19 +227,36 @@ func (n *Node) handleFindSuccessor(at simnet.VTime, req FindReq) (FindResp, simn
 		return FindResp{Node: succ, Hops: req.Hops}, at, nil
 	}
 	now := at
+	// One forwarding closure reused across candidates (and retry attempts)
+	// keeps the routing loop allocation-free; the captured hop state is
+	// re-pointed per candidate.
+	var hopAddr simnet.Addr
+	var hopReq FindReq
+	forward := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return n.net.Call(n.addr, hopAddr, MethodFindSuccessor, hopReq, at)
+	}
 	for ci, next := range n.routeCandidates(req.Target) {
 		// Each forwarding hop derives a child trace context from the request
 		// it received, so a traced lookup renders as a chain of message
-		// spans (candidate index keeps retry attempts distinct).
-		resp, done, err := n.net.Call(n.addr, next.Addr, MethodFindSuccessor,
-			FindReq{Target: req.Target, Hops: req.Hops + 1, TC: req.TC.Child(uint64(ci))}, now)
+		// spans (candidate index keeps retry attempts distinct). A hop whose
+		// message is lost in transit is re-sent in place (find_successor is
+		// read-only, so re-execution is safe); only then does routing fall
+		// back to the next candidate.
+		hopAddr = next.Addr
+		hopReq = FindReq{Target: req.Target, Hops: req.Hops + 1, TC: req.TC.Child(uint64(ci))}
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, forward)
 		if err == nil {
 			return resp.(FindResp), done, nil
 		}
-		// Unreachable next hop: remember the time wasted and try the next
-		// candidate (the successor list / farther fingers).
+		// Failed next hop: remember the time wasted and try the next
+		// candidate (the successor list / farther fingers). Only evict the
+		// candidate when it is actually unreachable — a lossy link says
+		// nothing about the node's liveness, and evicting live fingers
+		// would degrade routing for every later lookup.
 		now = done
-		n.evict(next.Addr)
+		if !simnet.IsLost(err) {
+			n.evict(next.Addr)
+		}
 	}
 	return FindResp{}, now, fmt.Errorf("%w: target %v from %v", ErrLookupFailed, req.Target, n.id)
 }
@@ -266,6 +294,7 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 	if len(order) == 0 {
 		return BatchFindResp{Nodes: nodes, Hops: hops}, at, nil
 	}
+	//adhoclint:faultpath(collect-partial, a failed group falls back to serial per-target re-routing below; no group's targets are silently dropped)
 	results, done := simnet.Parallel(len(order), 0, func(g int) (BatchFindResp, simnet.VTime, error) {
 		next := order[g]
 		idxs := groups[next]
@@ -273,8 +302,10 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 		for j, i := range idxs {
 			sub[j] = req.Targets[i].truncate(n.cfg.Bits)
 		}
-		resp, gdone, err := n.net.Call(n.addr, next, MethodFindSuccessorBatch,
-			BatchFindReq{Targets: sub, Hops: req.Hops + 1, TC: req.TC.Child(uint64(g))}, at)
+		resp, gdone, err := simnet.Retry(simnet.DefaultAttempts, at, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, next, MethodFindSuccessorBatch,
+				BatchFindReq{Targets: sub, Hops: req.Hops + 1, TC: req.TC.Child(uint64(g))}, at)
+		})
 		if err != nil {
 			return BatchFindResp{}, gdone, err
 		}
@@ -283,11 +314,14 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 	for g, r := range results {
 		idxs := groups[order[g]]
 		if r.Err != nil {
-			// The group's next hop is unreachable: evict it and resolve the
-			// group's targets one by one (serially, after the parallel join,
-			// so routing-table repair stays deterministic), starting from
-			// the failed branch's timeout.
-			n.evict(order[g])
+			// The group's next hop failed even after in-place retries:
+			// evict it if it is actually gone (not merely lossy) and
+			// resolve the group's targets one by one (serially, after the
+			// parallel join, so routing-table repair stays deterministic),
+			// starting from the failed branch's timeout.
+			if !simnet.IsLost(r.Err) {
+				n.evict(order[g])
+			}
 			now := r.Done
 			for _, i := range idxs {
 				// Fallback sequence numbers start past the group indexes so
@@ -397,11 +431,15 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 		}
 	}
 	if succ.Addr != n.addr {
-		resp, done, err := n.net.Call(n.addr, succ.Addr, MethodGetPredecessor, simnet.Bytes(1), now)
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, succ.Addr, MethodGetPredecessor, simnet.Bytes(1), at)
+		})
 		now = done
 		if err != nil {
-			n.evict(succ.Addr)
-			succ = n.Successor()
+			if !simnet.IsLost(err) {
+				n.evict(succ.Addr)
+				succ = n.Successor()
+			}
 		} else if x, ok := resp.(Ref); ok && !x.IsZero() && between(x.ID, n.id, succ.ID) && n.net.Alive(x.Addr) {
 			n.mu.Lock()
 			n.succ = append([]Ref{x}, trimRefs(n.succ, n.cfg.SuccListSize-1)...)
@@ -410,16 +448,22 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 		}
 	}
 	if succ.Addr != n.addr {
-		_, done, err := n.net.Call(n.addr, succ.Addr, MethodNotify, n.Ref(), now)
+		// notify is an absolute pointer update, so re-execution after a
+		// lost reply converges to the same state (idempotent).
+		_, done, err := simnet.Retry(simnet.DefaultAttempts, now, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, succ.Addr, MethodNotify, n.Ref(), at)
+		})
 		now = done
-		if err != nil {
+		if err != nil && !simnet.IsLost(err) {
 			n.evict(succ.Addr)
 		}
 	}
 	// Refresh the successor list from the (possibly new) successor.
 	succ = n.Successor()
 	if succ.Addr != n.addr {
-		resp, done, err := n.net.Call(n.addr, succ.Addr, MethodGetSuccList, simnet.Bytes(1), now)
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, succ.Addr, MethodGetSuccList, simnet.Bytes(1), at)
+		})
 		now = done
 		if err == nil {
 			list := resp.(RefList).Refs
@@ -435,7 +479,7 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 			n.mu.Lock()
 			n.succ = trimRefs(dedup, n.cfg.SuccListSize)
 			n.mu.Unlock()
-		} else {
+		} else if !simnet.IsLost(err) {
 			n.evict(succ.Addr)
 		}
 	} else {
@@ -489,8 +533,12 @@ func (n *Node) CheckPredecessor(at simnet.VTime) simnet.VTime {
 	if pred.IsZero() {
 		return at
 	}
-	_, done, err := n.net.Call(n.addr, pred.Addr, MethodPing, simnet.Bytes(1), at)
-	if err != nil {
+	_, done, err := simnet.Retry(simnet.DefaultAttempts, at, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return n.net.Call(n.addr, pred.Addr, MethodPing, simnet.Bytes(1), at)
+	})
+	if err != nil && !simnet.IsLost(err) {
+		// A lossy link is not a dead predecessor: only clear the pointer
+		// when the node is genuinely unreachable.
 		n.mu.Lock()
 		n.pred = Ref{}
 		n.mu.Unlock()
@@ -506,18 +554,24 @@ func (n *Node) Leave(at simnet.VTime) simnet.VTime {
 	pred := n.Predecessor()
 	now := at
 	if succ.Addr != n.addr && !pred.IsZero() {
-		_, done, err := n.net.Call(n.addr, pred.Addr, MethodSetSuccessor, succ, now)
+		// Pointer rewires are absolute sets — idempotent under re-execution
+		// after a lost reply.
+		_, done, err := simnet.Retry(simnet.DefaultAttempts, now, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, pred.Addr, MethodSetSuccessor, succ, at)
+		})
 		now = done
-		if err != nil {
+		if err != nil && !simnet.IsLost(err) {
 			// Unreachable neighbour: drop it from our tables; its side of
 			// the ring repairs via stabilization once we deregister.
 			n.evict(pred.Addr)
 		}
 	}
 	if !pred.IsZero() && succ.Addr != n.addr {
-		_, done, err := n.net.Call(n.addr, succ.Addr, MethodSetPredecessor, pred, now)
+		_, done, err := simnet.Retry(simnet.DefaultAttempts, now, func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, succ.Addr, MethodSetPredecessor, pred, at)
+		})
 		now = done
-		if err != nil {
+		if err != nil && !simnet.IsLost(err) {
 			n.evict(succ.Addr)
 		}
 	}

@@ -79,9 +79,32 @@ type qctx struct {
 // nextTC derives the next serial child context of a parent span. It must
 // not be called inside simnet.Parallel branches (derive from the branch
 // index there instead).
+//adhoclint:faultpath(benign, trace-span counter; a span identifier wasted by a failed operation is unobservable)
 func (c *qctx) nextTC(parent trace.TraceContext) trace.TraceContext {
 	c.seq++
 	return parent.Child(c.seq)
+}
+
+// countSubquery records one answered sub-query against a provider.
+//adhoclint:faultpath(benign, query-scoped statistics; discarded with the context when the query fails)
+func (c *qctx) countSubquery(target simnet.Addr) {
+	c.subq++
+	c.targets[target] = true
+}
+
+// countDrop records one stale-posting cleanup triggered by this query.
+//adhoclint:faultpath(benign, query-scoped statistics; discarded with the context when the query fails)
+func (c *qctx) countDrop() {
+	c.drops++
+}
+
+// countLookup records one location-table lookup's routing cost.
+//adhoclint:faultpath(benign, query-scoped statistics; discarded with the context when the query fails)
+func (c *qctx) countLookup(hops int, hit bool) {
+	c.hops += hops
+	if hit {
+		c.cacheHits++
+	}
 }
 
 // opSpan records an engine-level operation span when tracing is enabled.

@@ -279,19 +279,36 @@ func haveSharedVars(a, b eval.Solutions) bool {
 }
 
 // shipTo moves a solution multiset to the destination site as one transfer
-// message. Shipping to the current site is free.
+// message. Shipping to the current site is free. A transfer that stays lost
+// after retries strands the intermediate result, so it surfaces as a
+// partial-failure error instead of an incomplete answer.
 func (e *Engine) shipTo(ctx *qctx, s siteSet, dest simnet.Addr, method string, at simnet.VTime) (siteSet, simnet.VTime, error) {
 	if s.site == dest || s.site == "" {
 		s.site = dest
 		return s, at, nil
 	}
-	done, err := e.sys.Net().Transfer(s.site, dest, method,
+	done, err := e.transferRetry(s.site, dest, method,
 		overlay.SolutionsResp{Sols: s.sols, TC: ctx.nextTC(ctx.tc)}, at)
 	if err != nil {
 		return siteSet{}, done, err
 	}
 	s.site = dest
 	return s, done, nil
+}
+
+// transferRetry is Transfer wrapped in the standard loss-retry loop; a
+// transfer still lost after the budget surfaces as a partial-failure error
+// (other errors pass through for the caller to classify).
+func (e *Engine) transferRetry(from, to simnet.Addr, method string, payload simnet.Payload, at simnet.VTime) (simnet.VTime, error) {
+	_, done, err := simnet.Retry(simnet.DefaultAttempts, at,
+		func(at simnet.VTime) (struct{}, simnet.VTime, error) {
+			done, err := e.sys.Net().Transfer(from, to, method, payload, at)
+			return struct{}{}, done, err
+		})
+	if err != nil && simnet.IsLost(err) {
+		err = &PartialFailureError{Method: method, Missing: []simnet.Addr{to}, Err: err}
+	}
+	return done, err
 }
 
 // patternPlan is the plan-time resolution of one triple pattern: its index
@@ -373,6 +390,7 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 		hops     int
 		hit      bool
 	}
+	//adhoclint:faultpath(abort-all, a failed lookup leaves a pattern without its target set, so the whole query plan is unusable; the first branch error aborts planning)
 	results, done := simnet.Parallel(len(lookups), 0, func(li int) (rowResult, simnet.VTime, error) {
 		key := lookups[li]
 		if e.opts.CacheLookups {
@@ -383,11 +401,20 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 		owner, hops, lookupDone, err := e.sys.ResolveKeyTraced(ctx.initiator, key,
 			planTC.Child(uint64(2*li)), at)
 		if err != nil {
+			if simnet.IsLost(err) {
+				err = &PartialFailureError{Method: chord.MethodFindSuccessor, Err: err}
+			}
 			return rowResult{}, lookupDone, err
 		}
-		resp, lookupDone, err := e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
-			overlay.LookupReq{Key: key, TC: planTC.Child(uint64(2*li + 1))}, lookupDone)
+		resp, lookupDone, err := simnet.Retry(simnet.DefaultAttempts, lookupDone,
+			func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+				return e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
+					overlay.LookupReq{Key: key, TC: planTC.Child(uint64(2*li + 1))}, at)
+			})
 		if err != nil {
+			if simnet.IsLost(err) {
+				err = &PartialFailureError{Method: overlay.MethodLookup, Missing: []simnet.Addr{owner}, Err: err}
+			}
 			return rowResult{}, lookupDone, err
 		}
 		row := rowResult{index: owner, postings: resp.(overlay.PostingsResp).Postings, hops: hops}
@@ -405,10 +432,7 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 			return nil, simnet.MaxTime(at, done), r.Err
 		}
 		rows[lookups[li]] = r.Value
-		ctx.hops += r.Value.hops
-		if r.Value.hit {
-			ctx.cacheHits++
-		}
+		ctx.countLookup(r.Value.hops, r.Value.hit)
 	}
 	if len(lookups) > 0 {
 		ctx.opSpan(planTC, "dqp.plan", string(ctx.initiator), "", at, simnet.MaxTime(at, done))
@@ -601,7 +625,7 @@ func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, fi
 	if seeds.site != assembly {
 		dispatch := base
 		dispatch.TC = patTC.Child(0)
-		done, err := e.sys.Net().Transfer(seeds.site, assembly, methodDispatch, dispatch, now)
+		done, err := e.transferRetry(seeds.site, assembly, methodDispatch, dispatch, now)
 		if err != nil {
 			return siteSet{}, done, err
 		}
@@ -609,20 +633,38 @@ func (e *Engine) execPatternBasic(ctx *qctx, plan patternPlan, seeds siteSet, fi
 	}
 	var acc eval.Solutions
 	finish := now
+	// One call closure reused across targets (and retry attempts) keeps the
+	// fan-out loop allocation-free; the captured request is re-pointed per
+	// target.
+	var target simnet.Addr
+	var req overlay.MatchReq
+	match := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return e.sys.Net().Call(assembly, target, overlay.MethodMatch, req, at)
+	}
 	for fi, p := range plan.postings {
 		// Star topology: every fan-out request is a fresh copy of the
 		// sub-query and a sibling child of the pattern span (sequence 0 is
 		// the dispatch above).
-		req := base
-		req.TC = patTC.Child(uint64(fi + 1))
-		resp, done, err := e.sys.Net().Call(assembly, p.Node, overlay.MethodMatch, req, now)
+		target = p.Node
+		r := base
+		r.TC = patTC.Child(uint64(fi + 1))
+		req = r
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, match)
 		if err != nil {
+			if simnet.IsLost(err) {
+				// The target is alive but the link stayed lossy past the
+				// retry budget: dropping its contribution would silently
+				// truncate the result, so the query fails explicitly.
+				return siteSet{}, done, &PartialFailureError{
+					Method: overlay.MethodMatch, Missing: []simnet.Addr{p.Node}, Err: err}
+			}
+			// Unreachable target: its triples left the dataset; drop the
+			// stale postings and answer over the remaining providers.
 			finish = simnet.MaxTime(finish, done)
 			e.dropStale(ctx, plan, p.Node, assembly, req.TC, done)
 			continue
 		}
-		ctx.subq++
-		ctx.targets[p.Node] = true
+		ctx.countSubquery(p.Node)
 		acc = eval.Union(acc, resp.(overlay.SolutionsResp).Sols)
 		finish = simnet.MaxTime(finish, done)
 		if plan.stopOnFirst && len(acc) > 0 {
@@ -662,7 +704,7 @@ func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, fi
 	linkTC := patTC
 	if plan.index != "" && prev != plan.index {
 		dispatchTC := patTC.Child(0)
-		done, err := e.sys.Net().Transfer(prev, plan.index, methodDispatch,
+		done, err := e.transferRetry(prev, plan.index, methodDispatch,
 			overlay.MatchReq{Patterns: patterns, Filter: filter, Seeds: seeds.sols,
 				Dataset: ctx.dataset, FromNamed: ctx.fromNamed, Graph: scope,
 				TC: dispatchTC}, now)
@@ -687,21 +729,22 @@ func (e *Engine) execPatternChain(ctx *qctx, plan patternPlan, seeds siteSet, fi
 			Dataset:  ctx.dataset,
 			TC:       hopTC,
 		}
-		done, err := e.sys.Net().Transfer(prev, target.Node, overlay.MethodChainHop, payload, now)
+		done, err := e.transferRetry(prev, target.Node, overlay.MethodChainHop, payload, now)
 		now = done
 		if err != nil {
 			if errors.Is(err, simnet.ErrUnreachable) {
 				e.dropStale(ctx, plan, target.Node, prev, hopTC, now)
 				continue // forward from the same node to the next target
 			}
+			// A hop still lost after retries already surfaced as a typed
+			// partial failure; any other error aborts the chain outright.
 			return siteSet{}, now, err
 		}
 		st, ok := e.sys.Storage(target.Node)
 		if !ok {
 			continue
 		}
-		ctx.subq++
-		ctx.targets[target.Node] = true
+		ctx.countSubquery(target.Node)
 		// In-network aggregation with set-union semantics: merging at each
 		// hop removes solutions duplicated across providers before they
 		// travel further (the dedup counterpart of execPatternBasic).
@@ -757,12 +800,12 @@ func addrsOf(ps []overlay.Posting) []simnet.Addr {
 // but it travels over the fabric, so retraction traffic is accounted and
 // visible as Stats.RetractionBytes.
 func (e *Engine) dropStale(ctx *qctx, plan patternPlan, node, observer simnet.Addr, tc trace.TraceContext, at simnet.VTime) {
-	ctx.drops++
+	ctx.countDrop()
 	e.cache.dropNode(node)
 	if plan.index == "" {
 		return
 	}
-	//adhoclint:ignore vtime deliberate fire-and-forget: the timeout cleanup notification is accounted traffic but never extends the query's critical path
+	//adhoclint:faultpath(fire-and-forget, the timeout cleanup notification is accounted traffic but never extends the query's critical path; a lost notification is repaired by the next observer or by DropStorageEverywhere)
 	e.sys.Net().Send(observer, plan.index, overlay.MethodDropNode,
 		overlay.DropNodeReq{Node: node, Propagate: true, TC: tc.Child(1)}, at)
 }
@@ -814,6 +857,7 @@ func splitFilter(f sparql.Expression) []sparql.Expression {
 // shippableFilter selects the not-yet-shipped conjuncts whose variables
 // are covered by bound and combines them into one expression; selected
 // conjuncts are marked shipped.
+//adhoclint:faultpath(benign, marks query-scoped scratch; an error discards the whole query context)
 func shippableFilter(conjuncts []sparql.Expression, shipped []bool, bound map[string]bool) sparql.Expression {
 	var out sparql.Expression
 	for i, c := range conjuncts {

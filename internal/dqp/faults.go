@@ -1,0 +1,48 @@
+package dqp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"adhocshare/internal/simnet"
+)
+
+// PartialFailureError reports that a distributed query could not obtain the
+// contribution of one or more providers that are still alive — persistent
+// message loss exhausted the retry budget. It is the explicit alternative
+// to silently truncating the result set: callers either get a result that
+// is oracle-complete over the live providers, or this error naming exactly
+// which sites are missing.
+//
+// An unreachable (crashed) provider is NOT a partial failure: its triples
+// have left the dataset, the index drops its postings lazily (Sect. III-D),
+// and the query completes over the remaining providers.
+type PartialFailureError struct {
+	// Method is the sub-query RPC that failed (e.g. store.match).
+	Method string
+	// Missing lists the sites whose contribution is absent.
+	Missing []simnet.Addr
+	// Err is the final fabric error (a simnet loss error).
+	Err error
+}
+
+// Error implements error.
+func (e *PartialFailureError) Error() string {
+	sites := make([]string, len(e.Missing))
+	for i, a := range e.Missing {
+		sites[i] = string(a)
+	}
+	return fmt.Sprintf("dqp: partial failure: %s missing from [%s]: %v",
+		e.Method, strings.Join(sites, " "), e.Err)
+}
+
+// Unwrap exposes the underlying fabric error, so errors.Is still matches
+// the simnet loss sentinels.
+func (e *PartialFailureError) Unwrap() error { return e.Err }
+
+// IsPartialFailure reports whether err is (or wraps) a PartialFailureError.
+func IsPartialFailure(err error) bool {
+	var pf *PartialFailureError
+	return errors.As(err, &pf)
+}

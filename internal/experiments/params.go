@@ -17,9 +17,18 @@ import (
 //
 // Clock supplies the virtual clock a deployment advances; nil starts a
 // fresh clock at the simulation epoch.
+//
+// FaultRate, when nonzero, installs a deterministic fault-injection plan
+// (simnet.FaultPlan) on the deployment fabric after the overlay has
+// converged and published: every subsequent message leg is dropped with
+// this probability, decided by hashing the leg's coordinates under the
+// run's seed. Setup stays fault-free so every rate sees the identical
+// deployment; only the measured operations run under loss, and the same
+// (Seed, FaultRate) pair always reproduces the same losses.
 type Params struct {
-	Seed  int64
-	Clock *simnet.Clock
+	Seed      int64
+	Clock     *simnet.Clock
+	FaultRate float64
 }
 
 // clock returns the injected clock, or a fresh one at virtual time zero.

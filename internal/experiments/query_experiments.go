@@ -270,6 +270,16 @@ func E9Fig4EndToEnd(p Params) (*Table, error) {
 				}
 				res, stats, err := dep.runQuery(opts, "D00", q)
 				if err != nil {
+					// Under injected loss a config whose retry budget is
+					// exhausted reports the typed partial-failure error
+					// rather than a truncated result; record it as an
+					// explicit outcome instead of aborting the table.
+					if p.FaultRate > 0 && dqp.IsPartialFailure(err) {
+						t.Notes = append(t.Notes, fmt.Sprintf(
+							"partial failure at loss %.2g: %v/%v push=%v: %v",
+							p.FaultRate, st, cj, flags.push, err))
+						continue
+					}
 					return nil, err
 				}
 				if firstSols == -1 {

@@ -28,9 +28,17 @@ type deployment struct {
 	clock *simnet.Clock
 }
 
+// faultSeedBase is the seed-stream base of the fault-injection plan, kept
+// distinct from every workload stream so changing the loss pattern never
+// perturbs the dataset draw (and vice versa).
+const faultSeedBase = 0xFA17
+
 // buildDeployment creates a converged overlay with nIndex index nodes and
 // the dataset's providers as storage nodes, publishing all triples. The
-// deployment runs on the clock injected via p.
+// deployment runs on the clock injected via p. Setup is always fault-free;
+// when p.FaultRate is nonzero a deterministic loss plan is installed on
+// the fabric afterwards, so the measured operations (and only those) run
+// under message loss.
 func buildDeployment(p Params, nIndex int, d *workload.Dataset) (*deployment, error) {
 	sys := overlay.NewSystem(overlay.Config{Bits: 24, Replication: 2, Net: netConfig()})
 	dep := &deployment{sys: sys, clock: p.clock()}
@@ -53,6 +61,11 @@ func buildDeployment(p Params, nIndex int, d *workload.Dataset) (*deployment, er
 			return nil, err
 		}
 		dep.clock.Advance(done)
+	}
+	if p.FaultRate > 0 {
+		sys.Net().SetFaults(&simnet.FaultPlan{
+			Seed: p.seed(faultSeedBase), LossRate: p.FaultRate,
+		})
 	}
 	return dep, nil
 }

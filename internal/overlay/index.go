@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"adhocshare/internal/chord"
 	"adhocshare/internal/simnet"
@@ -19,6 +20,13 @@ type IndexNode struct {
 	net         *simnet.Network
 	addr        simnet.Addr
 	replication int
+
+	// seqMu guards lastSeq: the highest PutBatchReq.Seq applied per
+	// publisher. A batch re-delivered after a lost reply carries the same
+	// sequence and is acknowledged without re-applying, which is what makes
+	// put_batch safe to retry even for relative (incrementing) frequencies.
+	seqMu   sync.Mutex
+	lastSeq map[simnet.Addr]uint64
 }
 
 // NewIndexNode creates an index node with the given ring identifier and
@@ -34,6 +42,7 @@ func NewIndexNode(net *simnet.Network, addr simnet.Addr, id chord.ID, cfg chord.
 		net:         net,
 		addr:        addr,
 		replication: replication,
+		lastSeq:     make(map[simnet.Addr]uint64),
 	}
 	net.Register(addr, simnet.HandlerFunc(n.HandleCall))
 	return n
@@ -70,6 +79,9 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 		r, ok := req.(PutBatchReq)
 		if !ok {
 			return nil, at, fmt.Errorf("overlay: put_batch payload %T", req)
+		}
+		if r.Seq != 0 && n.seenSeq(r.Node, r.Seq) {
+			return simnet.Bytes(1), at, nil
 		}
 		rows := make(map[chord.ID][]Posting, len(r.Entries))
 		for _, e := range r.Entries {
@@ -110,6 +122,13 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 		now := at
 		if r.Propagate && n.replication > 1 {
 			sent := 0
+			// One forwarding closure reused across successors keeps the
+			// propagation loop allocation-free.
+			var fwdTo simnet.Addr
+			var fwdReq DropNodeReq
+			forward := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+				return n.net.Call(n.addr, fwdTo, MethodDropNode, fwdReq, at)
+			}
 			for _, succ := range n.Chord.SuccessorList() {
 				if sent >= n.replication-1 {
 					break
@@ -117,8 +136,9 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 				if succ.Addr == n.addr {
 					continue
 				}
-				_, done, err := n.net.Call(n.addr, succ.Addr, MethodDropNode,
-					DropNodeReq{Node: r.Node, TC: r.TC.Child(uint64(sent + 1))}, now)
+				fwdTo = succ.Addr
+				fwdReq = DropNodeReq{Node: r.Node, TC: r.TC.Child(uint64(sent + 1))}
+				_, done, err := simnet.Retry(simnet.DefaultAttempts, now, forward)
 				now = done
 				if err == nil {
 					sent++
@@ -131,13 +151,33 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 	}
 }
 
+// seenSeq records seq as applied for publisher node and reports whether it
+// had already been applied (a retried shipment whose reply was lost).
+func (n *IndexNode) seenSeq(node simnet.Addr, seq uint64) bool {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	if seq <= n.lastSeq[node] {
+		return true
+	}
+	n.lastSeq[node] = seq
+	return false
+}
+
 // replicate pushes updated rows to the next replication−1 live successors
 // so the ring survives index-node failures (Sect. III-D's replication
-// policy). Replication is synchronous and best-effort.
+// policy). Replication is synchronous and best-effort: a replica that stays
+// unreachable after retries is skipped — its rows converge on the next
+// update — so the primary's ack never blocks on a dead successor.
 func (n *IndexNode) replicate(at simnet.VTime, rows map[chord.ID][]Posting) (simnet.Payload, simnet.VTime, error) {
 	now := at
 	if n.replication > 1 {
 		sent := 0
+		// One sync closure reused across successors keeps the replication
+		// loop allocation-free.
+		var syncTo simnet.Addr
+		sync := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return n.net.Call(n.addr, syncTo, MethodReplica, TableRows{Rows: rows}, at)
+		}
 		for _, succ := range n.Chord.SuccessorList() {
 			if sent >= n.replication-1 {
 				break
@@ -145,7 +185,8 @@ func (n *IndexNode) replicate(at simnet.VTime, rows map[chord.ID][]Posting) (sim
 			if succ.Addr == n.addr {
 				continue
 			}
-			_, done, err := n.net.Call(n.addr, succ.Addr, MethodReplica, TableRows{Rows: rows}, now)
+			syncTo = succ.Addr
+			_, done, err := simnet.Retry(simnet.DefaultAttempts, now, sync)
 			now = done
 			if err == nil {
 				sent++

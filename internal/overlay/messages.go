@@ -11,14 +11,22 @@ import (
 
 // RPC method names. The "index." prefix marks two-level-index traffic, the
 // "store." prefix marks sub-query execution traffic at storage nodes.
+// Methods retried after lost messages declare why re-executing their
+// handler is safe (the adhoclint faultpath idempotence cross-check);
+// read-only handlers are proven side-effect-free by the analysis itself.
+// index.transfer is deliberately NOT retried: its handler extracts rows
+// destructively, so a reply-loss retry would observe an empty interval.
 const (
-	MethodPut      = "index.put"
+	MethodPut = "index.put"
+	//adhoclint:faultpath(idempotent, re-deliveries are suppressed by the per-publisher shipment sequence number, so relative frequency deltas apply exactly once)
 	MethodPutBatch = "index.put_batch"
 	MethodLookup   = "index.lookup"
 	MethodTransfer = "index.transfer"
 	MethodHandover = "index.handover"
+	//adhoclint:faultpath(idempotent, dropping an already-dropped node's postings is a no-op; propagation re-sends converge the replicas to the same state)
 	MethodDropNode = "index.drop_node"
-	MethodReplica  = "index.replicate"
+	//adhoclint:faultpath(idempotent, replica sync replaces whole rows absolutely)
+	MethodReplica = "index.replicate"
 
 	MethodMatch    = "store.match"
 	MethodChainHop = "store.chain"
@@ -50,11 +58,19 @@ type PutBatchReq struct {
 	Node     simnet.Addr
 	Entries  []KeyFreq
 	Absolute bool
-	TC       trace.TraceContext
+	// Seq is the publisher's shipment sequence number (0 = none). Index
+	// nodes remember the highest sequence applied per publisher and drop
+	// re-deliveries, so a batch retried after a lost reply — when the
+	// handler already ran — never double-counts relative frequencies.
+	Seq uint64
+	TC  trace.TraceContext
 }
 
 // TraceCtx implements trace.Carrier.
 func (r PutBatchReq) TraceCtx() trace.TraceContext { return r.TC }
+
+// seqWidth is the wire width of a shipment sequence number.
+func seqWidth(uint64) int { return 8 }
 
 // KeyFreq is one (key, frequency-delta) pair of a batch.
 type KeyFreq struct {
@@ -64,7 +80,7 @@ type KeyFreq struct {
 
 // SizeBytes implements simnet.Payload. Each entry is one (ID, int) pair.
 func (r PutBatchReq) SizeBytes() int {
-	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute) + r.TC.SizeBytes()
+	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute) + seqWidth(r.Seq) + r.TC.SizeBytes()
 }
 
 // LookupReq reads the location-table row for a key.

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -61,6 +62,13 @@ type System struct {
 	// traceSeq allocates deterministic trace identifiers: operations issued
 	// in the same order get the same IDs, so seeded runs trace identically.
 	traceSeq uint64
+	// pubSeq allocates shipment sequence numbers for PutBatch deduplication.
+	// The counter is shared by all publishers of the deployment but strictly
+	// increasing, so each publisher's shipment stream is monotone — the
+	// property the index nodes' duplicate suppression relies on. Sequence
+	// values are never serialized into modeled payload sizes (seqWidth is
+	// fixed), so VTimes stay identical whatever values the counter hands out.
+	pubSeq uint64
 }
 
 // NewSystem creates an empty deployment.
@@ -81,6 +89,7 @@ func (s *System) Net() *simnet.Network { return s.net }
 // NextTraceID allocates the identifier of a new trace (a query or a system
 // operation). IDs come from a per-deployment counter, not a clock, so a
 // seeded run always numbers its traces identically.
+//adhoclint:faultpath(benign, monotone trace-ID allocator; an identifier wasted by a failed operation is unobservable)
 func (s *System) NextTraceID() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -111,6 +120,15 @@ func (s *System) traceOp(name string, node simnet.Addr) (trace.TraceContext, fun
 	}
 }
 
+// nextPubSeq allocates one PutBatch shipment sequence number.
+//adhoclint:faultpath(benign, sequence allocator; PutBatch dedup needs only monotonicity, so numbers wasted by failed shipments are harmless)
+func (s *System) nextPubSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pubSeq++
+	return s.pubSeq
+}
+
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
 
@@ -122,7 +140,10 @@ func (s *System) AddIndexNode(addr simnet.Addr, at simnet.VTime) (*IndexNode, si
 }
 
 // AddIndexNodeWithID creates an index node with an explicit identifier
-// (used to reconstruct the paper's Fig. 1 topology).
+// (used to reconstruct the paper's Fig. 1 topology). The node is entered
+// into the deployment before the ring join so concurrent reads see it; a
+// failed join removes and deregisters it again before the error surfaces.
+//adhoclint:faultpath(compensated, a failed join deletes the node from the deployment and deregisters its handler, restoring the pre-call state)
 func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTime) (*IndexNode, simnet.VTime, error) {
 	s.mu.Lock()
 	if _, dup := s.index[addr]; dup {
@@ -151,6 +172,7 @@ func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTi
 	done, err := n.Chord.Join(bootstrap, now)
 	now = done
 	if err != nil {
+		s.evictIndexNode(addr)
 		return nil, now, err
 	}
 	now = s.Converge(now)
@@ -159,9 +181,20 @@ func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTi
 	done, err = n.JoinTransfer(now)
 	now = done
 	if err != nil {
+		s.evictIndexNode(addr)
 		return nil, now, err
 	}
 	return n, now, nil
+}
+
+// evictIndexNode compensates a failed index-node join: the half-joined
+// node is deleted from the deployment and its handler deregistered, so
+// the deployment returns to its pre-join state.
+func (s *System) evictIndexNode(addr simnet.Addr) {
+	s.mu.Lock()
+	delete(s.index, addr)
+	s.mu.Unlock()
+	s.net.Deregister(addr)
 }
 
 // AddStorageNode creates a storage node attached to the index node that is
@@ -176,8 +209,11 @@ func (s *System) AddStorageNode(addr simnet.Addr, at simnet.VTime) (*StorageNode
 		return nil, at, fmt.Errorf("overlay: no index nodes to attach to")
 	}
 	entry := s.anyIndexAddr()
-	resp, done, err := s.net.Call(addr, entry, chord.MethodFindSuccessor,
-		chord.FindReq{Target: chord.HashID(string(addr), s.cfg.Bits)}, at)
+	resp, done, err := simnet.Retry(simnet.DefaultAttempts, at,
+		func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(addr, entry, chord.MethodFindSuccessor,
+				chord.FindReq{Target: chord.HashID(string(addr), s.cfg.Bits)}, at)
+		})
 	now := done
 	if err != nil {
 		return nil, now, fmt.Errorf("overlay: attach lookup: %w", err)
@@ -198,6 +234,8 @@ func (s *System) AddStorageNode(addr simnet.Addr, at simnet.VTime) (*StorageNode
 // six index keys per triple in the distributed index (Sect. III-B),
 // batching all keys that land on the same index node into one message.
 // It returns the virtual completion time.
+//
+//adhoclint:faultpath(compensated, a failed installation un-adds the new triples so graph and index stay consistent; postings already installed elsewhere are over-approximating hints that local matching filters and Republish repairs)
 func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
 	s.mu.RLock()
 	node, ok := s.storage[storage]
@@ -207,10 +245,12 @@ func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 	}
 	// Count new triples per key (duplicates in the graph are not re-indexed).
 	freq := map[chord.ID]int{}
+	added := make([]rdf.Triple, 0, len(triples))
 	for _, t := range triples {
 		if !node.Graph.Add(t) {
 			continue
 		}
+		added = append(added, t)
 		for _, key := range TripleKeys(t, s.cfg.Bits) {
 			freq[key]++
 		}
@@ -221,6 +261,12 @@ func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 	if finish != nil {
 		finish(at, done)
 	}
+	if err != nil {
+		for _, t := range added {
+			node.Graph.Remove(t)
+		}
+		node.InvalidateViews()
+	}
 	return done, err
 }
 
@@ -228,6 +274,8 @@ func (s *System) Publish(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 // (Sect. IV-A datasets) and installs their index keys. Postings do not
 // distinguish graphs: lookups over-approximate and the FROM restriction is
 // applied at the provider during local matching.
+//
+//adhoclint:faultpath(compensated, a failed installation un-adds the new triples from the named graph; leftover remote postings are over-approximating hints)
 func (s *System) PublishGraph(storage simnet.Addr, graphIRI string, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
 	s.mu.RLock()
 	node, ok := s.storage[storage]
@@ -237,10 +285,12 @@ func (s *System) PublishGraph(storage simnet.Addr, graphIRI string, triples []rd
 	}
 	g := node.NamedGraph(graphIRI)
 	freq := map[chord.ID]int{}
+	added := make([]rdf.Triple, 0, len(triples))
 	for _, t := range triples {
 		if !g.Add(t) {
 			continue
 		}
+		added = append(added, t)
 		for _, key := range TripleKeys(t, s.cfg.Bits) {
 			freq[key]++
 		}
@@ -251,11 +301,19 @@ func (s *System) PublishGraph(storage simnet.Addr, graphIRI string, triples []rd
 	if finish != nil {
 		finish(at, done)
 	}
+	if err != nil {
+		for _, t := range added {
+			g.Remove(t)
+		}
+		node.InvalidateViews()
+	}
 	return done, err
 }
 
 // Retract removes triples from the storage node and decrements the index
 // frequencies.
+//
+//adhoclint:faultpath(compensated, a failed decrement re-adds the removed triples; Republish repairs any owner whose decrement had already applied)
 func (s *System) Retract(storage simnet.Addr, triples []rdf.Triple, at simnet.VTime) (simnet.VTime, error) {
 	s.mu.RLock()
 	node, ok := s.storage[storage]
@@ -264,10 +322,12 @@ func (s *System) Retract(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 		return at, fmt.Errorf("overlay: unknown storage node %s", storage)
 	}
 	freq := map[chord.ID]int{}
+	removed := make([]rdf.Triple, 0, len(triples))
 	for _, t := range triples {
 		if !node.Graph.Remove(t) {
 			continue
 		}
+		removed = append(removed, t)
 		for _, key := range TripleKeys(t, s.cfg.Bits) {
 			freq[key]--
 		}
@@ -277,6 +337,12 @@ func (s *System) Retract(storage simnet.Addr, triples []rdf.Triple, at simnet.VT
 	done, err := s.installPostings(node, freq, tc, at)
 	if finish != nil {
 		finish(at, done)
+	}
+	if err != nil {
+		for _, t := range removed {
+			node.Graph.Add(t)
+		}
+		node.InvalidateViews()
 	}
 	return done, err
 }
@@ -321,6 +387,7 @@ func (s *System) installPostings(node *StorageNode, freq map[chord.ID]int, tc tr
 // reattachIfNeeded re-homes a storage node whose attachment index node is
 // no longer alive: in the ad-hoc setting, a storage node simply attaches
 // to another ring member (Sect. III-A).
+//adhoclint:faultpath(benign, deterministic re-homing repair; re-running converges to the same attachment and a failed caller leaves the node validly re-homed)
 func (s *System) reattachIfNeeded(node *StorageNode) error {
 	if s.net.Alive(node.attached) {
 		return nil
@@ -361,9 +428,16 @@ func (s *System) installPostingsMode(node *StorageNode, freq map[chord.ID]int, a
 func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq map[chord.ID]int, absolute bool, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
 	batches := map[simnet.Addr][]KeyFreq{}
 	now := at
+	// One closure per fabric method, reused across iterations (and retry
+	// attempts), keeps the serial pipeline allocation-free; the captured
+	// request state is re-pointed per iteration.
+	var findReq chord.FindReq
+	resolve := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(node.addr, node.attached, chord.MethodFindSuccessor, findReq, at)
+	}
 	for ki, key := range keys {
-		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessor,
-			chord.FindReq{Target: key, TC: tc.Child(uint64(ki))}, now)
+		findReq = chord.FindReq{Target: key, TC: tc.Child(uint64(ki))}
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, resolve)
 		now = done
 		if err != nil {
 			return now, fmt.Errorf("overlay: resolve key %v: %w", key, err)
@@ -372,12 +446,18 @@ func (s *System) installPostingsSerial(node *StorageNode, keys []chord.ID, freq 
 		batches[owner] = append(batches[owner], KeyFreq{Key: key, Freq: freq[key]})
 	}
 	owners := sortedOwners(batches)
+	var shipTo simnet.Addr
+	var shipReq PutBatchReq
+	ship := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(node.addr, shipTo, MethodPutBatch, shipReq, at)
+	}
 	for oi, owner := range owners {
-		// Shipment sequence numbers start past the key indexes so resolve
-		// and ship children never collide.
-		_, done, err := s.net.Call(node.addr, owner, MethodPutBatch,
-			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
-				TC: tc.Child(uint64(len(keys) + oi))}, now)
+		// Trace children for shipments start past the key indexes so resolve
+		// and ship spans never collide.
+		shipTo = owner
+		shipReq = PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
+			Seq: s.nextPubSeq(), TC: tc.Child(uint64(len(keys) + oi))}
+		_, done, err := simnet.Retry(simnet.DefaultAttempts, now, ship)
 		now = done
 		if err != nil {
 			return now, fmt.Errorf("overlay: install postings at %s: %w", owner, err)
@@ -407,8 +487,11 @@ func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, fre
 	}
 	resolveDone := at
 	if len(unresolved) > 0 {
-		resp, done, err := s.net.Call(node.addr, node.attached, chord.MethodFindSuccessorBatch,
-			chord.BatchFindReq{Targets: unresolved, TC: tc.Child(0)}, at)
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, at,
+			func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+				return s.net.Call(node.addr, node.attached, chord.MethodFindSuccessorBatch,
+					chord.BatchFindReq{Targets: unresolved, TC: tc.Child(0)}, at)
+			})
 		if err != nil {
 			return done, fmt.Errorf("overlay: resolve %d keys: %w", len(unresolved), err)
 		}
@@ -435,21 +518,96 @@ func (s *System) installPostingsParallel(node *StorageNode, keys []chord.ID, fre
 		}
 	}
 	ownerList := sortedOwners(batches)
+	// Sequence numbers are allocated before the fan-out in sorted-owner
+	// order, so their assignment does not depend on goroutine scheduling.
+	seqs := make([]uint64, len(ownerList))
+	for i := range ownerList {
+		seqs[i] = s.nextPubSeq()
+	}
+	//adhoclint:faultpath(abort-all, every owner shipment must land; unreachable owners get one successor-fallback round below and any remaining failure aborts the publication, which the callers compensate)
 	results, done := simnet.Parallel(len(ownerList), 0, func(i int) (simnet.Payload, simnet.VTime, error) {
 		// Branch-index-derived contexts (seq 0 is the batch resolve above)
 		// keep span identifiers deterministic under concurrent fan-out.
 		owner := ownerList[i]
-		return s.net.Call(node.addr, owner, MethodPutBatch,
-			PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
-				TC: tc.Child(uint64(i + 1))}, starts[owner])
+		req := PutBatchReq{Node: node.addr, Entries: batches[owner], Absolute: absolute,
+			Seq: seqs[i], TC: tc.Child(uint64(i + 1))}
+		return simnet.Retry(simnet.DefaultAttempts, starts[owner],
+			func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+				return s.net.Call(node.addr, owner, MethodPutBatch, req, at)
+			})
 	})
 	done = simnet.MaxTime(at, resolveDone, done)
+	// Owners that died between resolution and shipment get one fallback
+	// round: the ring has promoted their successors, so re-resolve the
+	// affected keys and re-ship. Any other failure aborts the publication.
+	stale := make([]simnet.Addr, 0, len(ownerList))
 	for i, r := range results {
-		if r.Err != nil {
+		if r.Err == nil {
+			continue
+		}
+		if !errors.Is(r.Err, simnet.ErrUnreachable) {
 			return done, fmt.Errorf("overlay: install postings at %s: %w", ownerList[i], r.Err)
 		}
+		stale = append(stale, ownerList[i])
 	}
-	return done, nil
+	if len(stale) == 0 {
+		return done, nil
+	}
+	return s.reshipPostings(node, batches, stale, uint64(len(ownerList)+1), absolute, tc, done)
+}
+
+// reshipPostings is installPostingsParallel's successor-fallback round: the
+// batches addressed to stale (now unreachable) owners are re-resolved with
+// one batched FindSuccessor and re-shipped serially to whoever owns the
+// keys now. tcBase offsets the trace children past the main round's.
+func (s *System) reshipPostings(node *StorageNode, batches map[simnet.Addr][]KeyFreq, stale []simnet.Addr, tcBase uint64, absolute bool, tc trace.TraceContext, at simnet.VTime) (simnet.VTime, error) {
+	node.DropOwnerCache()
+	total := 0
+	for _, owner := range stale {
+		total += len(batches[owner])
+	}
+	entries := make([]KeyFreq, 0, total)
+	for _, owner := range stale {
+		entries = append(entries, batches[owner]...)
+	}
+	targets := make([]chord.ID, len(entries))
+	for i, e := range entries {
+		targets[i] = e.Key
+	}
+	if err := s.reattachIfNeeded(node); err != nil {
+		return at, err
+	}
+	resp, now, err := simnet.Retry(simnet.DefaultAttempts, at,
+		func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(node.addr, node.attached, chord.MethodFindSuccessorBatch,
+				chord.BatchFindReq{Targets: targets, TC: tc.Child(tcBase)}, at)
+		})
+	if err != nil {
+		return now, fmt.Errorf("overlay: re-resolve %d keys: %w", len(targets), err)
+	}
+	regrouped := map[simnet.Addr][]KeyFreq{}
+	for i, e := range entries {
+		owner := resp.(chord.BatchFindResp).Nodes[i].Addr
+		regrouped[owner] = append(regrouped[owner], e)
+	}
+	// One ship closure reused across owners keeps the fallback loop
+	// allocation-free.
+	var shipTo simnet.Addr
+	var shipReq PutBatchReq
+	ship := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(node.addr, shipTo, MethodPutBatch, shipReq, at)
+	}
+	for oi, owner := range sortedOwners(regrouped) {
+		shipTo = owner
+		shipReq = PutBatchReq{Node: node.addr, Entries: regrouped[owner], Absolute: absolute,
+			Seq: s.nextPubSeq(), TC: tc.Child(tcBase + 1 + uint64(oi))}
+		_, done, err := simnet.Retry(simnet.DefaultAttempts, now, ship)
+		now = done
+		if err != nil {
+			return now, fmt.Errorf("overlay: install postings at %s: %w", owner, err)
+		}
+	}
+	return now, nil
 }
 
 func sortedOwners(batches map[simnet.Addr][]KeyFreq) []simnet.Addr {
@@ -476,8 +634,11 @@ func (s *System) ResolveKeyTraced(from simnet.Addr, key chord.ID, tc trace.Trace
 	if entry == "" {
 		return "", 0, at, fmt.Errorf("overlay: node %s has no ring entry point", from)
 	}
-	resp, done, err := s.net.Call(from, entry, chord.MethodFindSuccessor,
-		chord.FindReq{Target: key, TC: tc}, at)
+	resp, done, err := simnet.Retry(simnet.DefaultAttempts, at,
+		func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(from, entry, chord.MethodFindSuccessor,
+				chord.FindReq{Target: key, TC: tc}, at)
+		})
 	if err != nil {
 		return "", 0, done, err
 	}
@@ -488,6 +649,7 @@ func (s *System) ResolveKeyTraced(from simnet.Addr, key chord.ID, tc trace.Trace
 // entryFor returns the ring entry point for a node address: itself for an
 // index node, the attachment point for a storage node, or any live index
 // node otherwise (external query initiators).
+//adhoclint:faultpath(benign, deterministic re-homing repair; re-running converges to the same attachment and a failed caller leaves the node validly re-homed)
 func (s *System) entryFor(from simnet.Addr) simnet.Addr {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -644,7 +806,9 @@ func (s *System) RecoverNode(addr simnet.Addr) {
 
 // RemoveIndexGraceful performs a clean index-node departure: location
 // table handed to the successor, ring pointers rewired, node deregistered
-// (Sect. III-D).
+// (Sect. III-D). The node leaves the deployment map before the handoff so
+// no new traffic routes to it; a failed handoff reinstates it.
+//adhoclint:faultpath(compensated, a failed departure handoff reinstates the node in the deployment, so it keeps serving its key range)
 func (s *System) RemoveIndexGraceful(addr simnet.Addr, at simnet.VTime) (simnet.VTime, error) {
 	s.mu.Lock()
 	n, ok := s.index[addr]
@@ -657,6 +821,9 @@ func (s *System) RemoveIndexGraceful(addr simnet.Addr, at simnet.VTime) (simnet.
 	}
 	now, err := n.LeaveGraceful(at)
 	if err != nil {
+		s.mu.Lock()
+		s.index[addr] = n
+		s.mu.Unlock()
 		return now, err
 	}
 	return s.Converge(now), nil
@@ -681,9 +848,13 @@ func (s *System) DropStorageEverywhere(addr simnet.Addr, at simnet.VTime) simnet
 		}
 	}
 	// Best-effort: an index node that became unreachable cleans up lazily.
+	//adhoclint:faultpath(collect-partial, drop notifications are cleanup hints; an index node the broadcast misses drops the postings lazily on its own query timeout or on republish)
 	_, done := simnet.Parallel(len(targets), 0, func(i int) (simnet.Payload, simnet.VTime, error) {
-		return s.net.Call(origin, targets[i], MethodDropNode,
-			DropNodeReq{Node: addr}, at)
+		return simnet.Retry(simnet.DefaultAttempts, at,
+			func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+				return s.net.Call(origin, targets[i], MethodDropNode,
+					DropNodeReq{Node: addr}, at)
+			})
 	})
 	s.mu.Lock()
 	delete(s.storage, addr)

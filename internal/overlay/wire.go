@@ -46,6 +46,7 @@ func (r PutBatchReq) EncodeBinary(dst []byte) []byte {
 		dst = wirebin.AppendInt(dst, e.Freq)
 	}
 	dst = wirebin.AppendBool(dst, r.Absolute)
+	dst = wirebin.AppendUvarint(dst, r.Seq)
 	return r.TC.EncodeBinary(dst)
 }
 
@@ -75,6 +76,9 @@ func (r *PutBatchReq) DecodeBinary(b []byte) ([]byte, error) {
 		}
 	}
 	if r.Absolute, b, err = wirebin.Bool(b); err != nil {
+		return b, err
+	}
+	if r.Seq, b, err = wirebin.Uvarint(b); err != nil {
 		return b, err
 	}
 	b, err = r.TC.DecodeBinary(b)

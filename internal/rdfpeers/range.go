@@ -83,9 +83,16 @@ func (s *System) QueryRange(from simnet.Addr, p rdf.Term, lo, hi float64, at sim
 	var out []rdf.Triple
 	visited := 0
 	prev := from
+	// One hop closure reused across arc nodes keeps the chain loop
+	// allocation-free.
+	req := RangeReq{Predicate: p, Lo: lo, Hi: hi}
+	var hopTo simnet.Addr
+	hop := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(prev, hopTo, MethodRange, req, at)
+	}
 	for _, cur := range arc {
-		req := RangeReq{Predicate: p, Lo: lo, Hi: hi}
-		resp, done, err := s.net.Call(prev, cur, MethodRange, req, now)
+		hopTo = cur
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, hop)
 		now = done
 		if err != nil {
 			continue // skip unreachable arc nodes
@@ -105,7 +112,11 @@ func (s *System) QueryRange(from simnet.Addr, p rdf.Term, lo, hi float64, at sim
 	// on the wire (the transfer cost itself is order-independent).
 	rdf.SortTriples(out)
 	// results travel back to the initiator
-	done, err := s.net.Transfer(prev, from, MethodResult, TriplesPayload{Triples: out}, now)
+	_, done, err := simnet.Retry(simnet.DefaultAttempts, now,
+		func(at simnet.VTime) (struct{}, simnet.VTime, error) {
+			done, err := s.net.Transfer(prev, from, MethodResult, TriplesPayload{Triples: out}, at)
+			return struct{}{}, done, err
+		})
 	if err != nil {
 		return nil, visited, done, err
 	}

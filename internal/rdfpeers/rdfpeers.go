@@ -27,8 +27,9 @@ import (
 
 // RPC method names ("rdfpeers." prefix for traffic attribution).
 const (
-	MethodStore     = "rdfpeers.store"
-	MethodMatch     = "rdfpeers.match"
+	//adhoclint:faultpath(idempotent, triples live in a set-semantics graph; re-adding the same triple is a no-op)
+	MethodStore = "rdfpeers.store"
+	MethodMatch = "rdfpeers.match"
 	MethodIntersect = "rdfpeers.intersect"
 	// MethodResult labels the transfer shipping final results back to the
 	// query initiator; it is transfer-only and dispatched by no handler.
@@ -196,6 +197,7 @@ type System struct {
 
 // traceOp opens a trace for one RDFPeers operation when a recorder is
 // attached to the network; see overlay.System.traceOp.
+//adhoclint:faultpath(benign, trace-ID allocator; an identifier wasted by a failed operation is unobservable)
 func (s *System) traceOp(name string, node simnet.Addr) (trace.TraceContext, func(start, end simnet.VTime)) {
 	rec := s.net.Recorder()
 	if rec == nil {
@@ -232,7 +234,9 @@ func NewSystem(bits uint, netCfg simnet.Config) *System {
 // Net exposes the simulated network for metrics.
 func (s *System) Net() *simnet.Network { return s.net }
 
-// AddNode joins a ring member.
+// AddNode joins a ring member. The node is registered and entered into the
+// membership before the ring join; a failed join removes both again.
+//adhoclint:faultpath(compensated, a failed join deletes the node from the membership and deregisters its handler, restoring the pre-call state)
 func (s *System) AddNode(addr simnet.Addr, at simnet.VTime) (*Node, simnet.VTime, error) {
 	if _, dup := s.nodes[addr]; dup {
 		return nil, at, fmt.Errorf("rdfpeers: node %s exists", addr)
@@ -257,6 +261,8 @@ func (s *System) AddNode(addr simnet.Addr, at simnet.VTime) (*Node, simnet.VTime
 	}
 	done, err := n.Chord.Join(bootstrap, now)
 	if err != nil {
+		delete(s.nodes, addr)
+		s.net.Deregister(addr)
 		return nil, done, err
 	}
 	return n, s.Converge(done), nil
@@ -297,14 +303,22 @@ func (s *System) Store(from simnet.Addr, t rdf.Triple, at simnet.VTime) (simnet.
 		keys = append(keys, k)
 	}
 	tc, finish := s.traceOp("rdfpeers.store_op", from)
+	// One store closure reused across keys keeps the ingest loop
+	// allocation-free.
+	var storeTo simnet.Addr
+	var storeReq StoreReq
+	store := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(from, storeTo, MethodStore, storeReq, at)
+	}
 	for ki, key := range keys {
 		owner, _, done, err := s.resolveTraced(from, key, tc.Child(uint64(2*ki)), now)
 		now = done
 		if err != nil {
 			return now, err
 		}
-		_, done, err = s.net.Call(from, owner, MethodStore,
-			StoreReq{Triple: t, TC: tc.Child(uint64(2*ki + 1))}, now)
+		storeTo = owner
+		storeReq = StoreReq{Triple: t, TC: tc.Child(uint64(2*ki + 1))}
+		_, done, err = simnet.Retry(simnet.DefaultAttempts, now, store)
 		now = done
 		if err != nil {
 			return now, err
@@ -341,8 +355,11 @@ func (s *System) resolveTraced(from simnet.Addr, key chord.ID, tc trace.TraceCon
 			break
 		}
 	}
-	resp, done, err := s.net.Call(from, entry, chord.MethodFindSuccessor,
-		chord.FindReq{Target: key, TC: tc}, at)
+	resp, done, err := simnet.Retry(simnet.DefaultAttempts, at,
+		func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(from, entry, chord.MethodFindSuccessor,
+				chord.FindReq{Target: key, TC: tc}, at)
+		})
 	if err != nil {
 		return "", 0, done, err
 	}
@@ -384,9 +401,17 @@ func (s *System) QueryPattern(from simnet.Addr, pat rdf.Triple, at simnet.VTime)
 		var acc eval.Solutions
 		now := at
 		finish := at
+		// One match closure reused across targets keeps the flood loop
+		// allocation-free.
+		var floodTo simnet.Addr
+		var floodReq MatchReq
+		match := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(from, floodTo, MethodMatch, floodReq, at)
+		}
 		for fi, a := range addrs {
-			resp, done, err := s.net.Call(from, a, MethodMatch,
-				MatchReq{Pattern: pat, TC: tc.Child(uint64(fi))}, now)
+			floodTo = a
+			floodReq = MatchReq{Pattern: pat, TC: tc.Child(uint64(fi))}
+			resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, match)
 			if err != nil {
 				continue
 			}
@@ -402,8 +427,11 @@ func (s *System) QueryPattern(from simnet.Addr, pat rdf.Triple, at simnet.VTime)
 	if err != nil {
 		return nil, now, err
 	}
-	resp, now, err := s.net.Call(from, owner, MethodMatch,
-		MatchReq{Pattern: pat, TC: tc.Child(0)}, now)
+	resp, now, err := simnet.Retry(simnet.DefaultAttempts, now,
+		func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+			return s.net.Call(from, owner, MethodMatch,
+				MatchReq{Pattern: pat, TC: tc.Child(0)}, at)
+		})
 	if err != nil {
 		return nil, now, err
 	}
@@ -432,8 +460,14 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 	now := at
 	prev := from
 	// Hop contexts chain: each intersection hop derives from the previous
-	// one, mirroring the recursive MAQ forwarding.
+	// one, mirroring the recursive MAQ forwarding. One hop closure reused
+	// across patterns keeps the loop allocation-free.
 	linkTC := tc
+	var hopTo simnet.Addr
+	var hopReq IntersectReq
+	hop := func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
+		return s.net.Call(prev, hopTo, MethodIntersect, hopReq, at)
+	}
 	for i, pat := range patterns {
 		key, _ := s.patternKey(pat) // object is bound → object key
 		owner, _, done, err := s.resolveTraced(prev, key, linkTC.Child(0), now)
@@ -442,11 +476,13 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 			return nil, now, err
 		}
 		hopTC := linkTC.Child(1)
-		req := IntersectReq{Pattern: pat, Candidates: candidates, TC: hopTC}
+		hopTo = owner
+		cands := candidates
 		if i == 0 {
-			req.Candidates = nil
+			cands = nil
 		}
-		resp, done, err := s.net.Call(prev, owner, MethodIntersect, req, now)
+		hopReq = IntersectReq{Pattern: pat, Candidates: cands, TC: hopTC}
+		resp, done, err := simnet.Retry(simnet.DefaultAttempts, now, hop)
 		now = done
 		if err != nil {
 			return nil, now, err
@@ -459,7 +495,11 @@ func (s *System) QueryConjunctive(from simnet.Addr, subjectVar string, patterns 
 		linkTC = hopTC
 	}
 	// ship the final candidates back to the initiator
-	done, err := s.net.Transfer(prev, from, MethodResult, TermsResp{Terms: candidates}, now)
+	_, done, err := simnet.Retry(simnet.DefaultAttempts, now,
+		func(at simnet.VTime) (struct{}, simnet.VTime, error) {
+			done, err := s.net.Transfer(prev, from, MethodResult, TermsResp{Terms: candidates}, at)
+			return struct{}{}, done, err
+		})
 	if err != nil {
 		return nil, done, err
 	}

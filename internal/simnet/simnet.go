@@ -135,6 +135,12 @@ type Network struct {
 	recMu sync.RWMutex
 	rec   trace.Recorder
 
+	// faultMu guards faults, the optional deterministic fault-injection
+	// plan (nil = fault-free). Like the recorder it sits outside mu: loss
+	// draws are pure hashes and never block membership changes.
+	faultMu sync.RWMutex
+	faults  *FaultPlan
+
 	mu     sync.RWMutex
 	nodes  map[Addr]Handler
 	failed map[Addr]bool
@@ -379,9 +385,10 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		return nil, at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	faults := n.Faults()
 	reqSize := payloadSize(req)
 	n.account(method, DirRequest, reqSize)
-	if failed {
+	if failed || faults.crashed(to, at) {
 		// The request is sent (and counted) but never answered.
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
@@ -389,13 +396,33 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		}
 		return nil, lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
+	if faults.drop(from, to, method, DirRequest, at, reqSize) {
+		// Request leg lost: the handler never runs, and the caller only
+		// learns by timing out.
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "lost")
+		}
+		return nil, lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
+	}
 	arrive := at.Add(n.transferDelay(from, to, reqSize))
+	if faults.crashed(to, arrive) {
+		// The node crashed while the request was in flight.
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "unreachable")
+		}
+		return nil, lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, arrive, "")
 	}
 	resp, done, err := h.HandleCall(arrive, method, req)
 	if err != nil {
-		// Error responses travel back as a small control message.
+		// Error responses travel back as a small control message, exempt
+		// from loss draws: dropping a 16-byte error ack would only mask
+		// the application error behind ErrReplyLost without creating any
+		// new caller obligation.
 		n.account(method, DirResponse, 0)
 		back := done.Add(n.transferDelay(to, from, 16))
 		if rec != nil {
@@ -405,6 +432,16 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 	}
 	respSize := payloadSize(resp)
 	n.account(method, DirResponse, respSize)
+	if faults.drop(to, from, method, DirResponse, done, respSize) {
+		// Reply leg lost: the handler DID run — its side effects stand —
+		// but the caller times out. Retrying re-executes the handler, so
+		// retried mutating handlers must be idempotent (faultpath rule).
+		lost := done.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, respSize, done, lost, "lost")
+		}
+		return nil, lost, fmt.Errorf("%w: %s %s", ErrReplyLost, method, to)
+	}
 	back := done.Add(n.transferDelay(to, from, respSize))
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, respSize, done, back, "")
@@ -432,16 +469,34 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	faults := n.Faults()
 	size := payloadSize(req)
 	n.account(method, DirOneWay, size)
-	if failed {
+	if failed || faults.crashed(to, at) {
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "unreachable")
 		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
+	if faults.drop(from, to, method, DirOneWay, at, size) {
+		// A one-way message carries no acknowledgement: the sender's clock
+		// advances only by the wire cost it paid, and the loss error is
+		// advisory (fire-and-forget senders ignore it by declaration).
+		lost := at.Add(n.transferDelay(from, to, size))
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "lost")
+		}
+		return lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
+	}
 	arrive := at.Add(n.transferDelay(from, to, size))
+	if faults.crashed(to, arrive) {
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "unreachable")
+		}
+		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, arrive, "")
 	}
@@ -471,16 +526,33 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	faults := n.Faults()
 	size := payloadSize(payload)
 	n.account(method, DirTransfer, size)
-	if failed {
+	if failed || faults.crashed(to, at) {
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "unreachable")
 		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
+	if faults.drop(from, to, method, DirTransfer, at, size) {
+		// The data never arrives; the sender learns by missing the
+		// application-level follow-up and times out.
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "lost")
+		}
+		return lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
+	}
 	arrive := at.Add(n.transferDelay(from, to, size))
+	if faults.crashed(to, arrive) {
+		lost := at.Add(n.cfg.FailTimeout)
+		if rec != nil {
+			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "unreachable")
+		}
+		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, arrive, "")
 	}
