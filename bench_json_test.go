@@ -11,7 +11,9 @@ package adhocshare
 // TestWriteBenchJSON re-runs those pairs plus the E2 publish and the E9
 // end-to-end query experiments — the latter both fault-free and under 1%
 // deterministic message loss, so the retry machinery's overhead is a
-// tracked number — under testing.Benchmark and writes the per-scenario
+// tracked number — and the E16 Zipf-storm pair (static vs. adaptive
+// hot-key replication, with the hot-node byte share and steady-state tail
+// as domain metrics) under testing.Benchmark, and writes the per-scenario
 // numbers (ns/op, allocs/op, bytes/op, ops/sec) to the file named by the
 // BENCH_JSON environment variable; without it the test skips, so plain
 // `go test ./...` stays fast.
@@ -122,6 +124,11 @@ type benchScenario struct {
 	AllocsOp  int64   `json:"allocs_op"`
 	BytesOp   int64   `json:"bytes_op"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// HotShare and TailVTimeMs are domain metrics of the e12_zipf_*
+	// storm pair: the busiest index node's share of index-tier bytes and
+	// the steady-state tail of the query critical path in virtual ms.
+	HotShare    float64 `json:"hot_node_share,omitempty"`
+	TailVTimeMs float64 `json:"tail_vtime_ms,omitempty"`
 }
 
 // runScenario runs one benchmark body to completion under
@@ -138,10 +145,12 @@ func runScenario(name string, fn func(b *testing.B)) benchScenario {
 	}
 }
 
-// TestWriteBenchJSON regenerates BENCH_PR7.json. It runs only when
+// TestWriteBenchJSON regenerates BENCH_PR8.json. It runs only when
 // BENCH_JSON names the output path (`make bench-json` sets it), and fails
 // if the binary codec does not beat the gob baseline on allocs/op for the
-// fabric hot paths — the measured claim the committed file records.
+// fabric hot paths, or if the adaptive index does not strictly beat the
+// static one on the Zipf storm's hot-node share and tail — the measured
+// claims the committed file records.
 func TestWriteBenchJSON(t *testing.T) {
 	out := os.Getenv("BENCH_JSON")
 	if out == "" {
@@ -167,6 +176,31 @@ func TestWriteBenchJSON(t *testing.T) {
 			return experiments.E9Fig4EndToEnd(p)
 		})
 	}))
+	// The E16 Zipf storm pair: same workload, static vs. adaptive index.
+	// The domain metrics come from the deterministic storm summary (same
+	// Params, same numbers every run); ns/op and allocs/op come from the
+	// timed loop.
+	for _, adaptive := range []bool{false, true} {
+		adaptive := adaptive
+		name := "e12_zipf_static"
+		if adaptive {
+			name = "e12_zipf_adaptive"
+		}
+		s := runScenario(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.E16ZipfStormSummary(experiments.Params{}, adaptive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sum, err := experiments.E16ZipfStormSummary(experiments.Params{}, adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.HotShare, s.TailVTimeMs = sum.HotShare, sum.TailMs
+		scenarios = append(scenarios, s)
+	}
 	for _, c := range codecScenarios() {
 		c := c
 		scenarios = append(scenarios, runScenario("codec/"+c.name+"/binary", func(b *testing.B) {
@@ -187,6 +221,18 @@ func TestWriteBenchJSON(t *testing.T) {
 			t.Errorf("codec/%s: binary path allocates %d allocs/op, gob baseline %d — the binary codec must allocate strictly less",
 				c.name, bin.AllocsOp, gb.AllocsOp)
 		}
+	}
+	// The adaptive index must strictly beat the static one on the hot-key
+	// storm's two measured claims; if it stops doing so the extension has
+	// regressed and the committed JSON must not paper over it.
+	zs, za := byName["e12_zipf_static"], byName["e12_zipf_adaptive"]
+	if za.HotShare >= zs.HotShare {
+		t.Errorf("e12_zipf: adaptive hot-node share %.3f is not below static %.3f — hot-key replication no longer spreads the load",
+			za.HotShare, zs.HotShare)
+	}
+	if za.TailVTimeMs >= zs.TailVTimeMs {
+		t.Errorf("e12_zipf: adaptive tail %.2f vms is not below static %.2f vms — the replica fast path no longer pays off",
+			za.TailVTimeMs, zs.TailVTimeMs)
 	}
 
 	doc := struct {

@@ -59,6 +59,7 @@ func BenchmarkE12_JoinSite(b *testing.B)     { benchExperiment(b, experiments.E1
 func BenchmarkE13_QoSJoinSite(b *testing.B)  { benchExperiment(b, experiments.E13QoSJoinSite) }
 func BenchmarkE14_LookupCache(b *testing.B)  { benchExperiment(b, experiments.E14LookupCache) }
 func BenchmarkE15_RangeQueries(b *testing.B) { benchExperiment(b, experiments.E15RangeQueries) }
+func BenchmarkE16_ZipfStorm(b *testing.B)    { benchExperiment(b, experiments.E16ZipfStorm) }
 
 // ---- distributed query micro-benchmarks with domain metrics ----
 

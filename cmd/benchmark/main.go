@@ -9,6 +9,7 @@
 //	benchmark -list                # list experiments
 //	benchmark -json                # machine-readable output for plot/diff tooling
 //	benchmark -run E9 -faultrate 0.01 -seed 7   # E9 under 1% deterministic message loss
+//	benchmark -run E16 -adaptive   # hot-key replication on (E16 compares both modes itself)
 //
 // With -cpuprofile or -memprofile the run writes pprof profiles of the
 // harness itself — the data behind the hot-path work in the adhoclint
@@ -33,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Int64("seed", 0, "master seed XORed into every experiment stream (0 = the published tables)")
 	faultRate := flag.Float64("faultrate", 0, "per-message-leg loss probability injected after deployment setup (0 = fault-free)")
+	adaptive := flag.Bool("adaptive", false, "enable workload-adaptive hot-key replication in every deployment the experiments build")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of plain-text tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile taken after the run to this file")
@@ -43,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
-	err = runHarness(*run, *list, *asJSON, experiments.Params{Seed: *seed, FaultRate: *faultRate})
+	err = runHarness(*run, *list, *asJSON, experiments.Params{Seed: *seed, FaultRate: *faultRate, Adaptive: *adaptive})
 	// Flush the profiles even on a failed run: a crash-adjacent profile is
 	// still worth reading, and os.Exit skips deferred writers.
 	if perr := stopProfiles(); perr != nil {

@@ -40,6 +40,9 @@ const (
 	tagCountReq
 	tagCountResp
 	tagTriplesResp
+	tagHotReplicaReq
+	tagHotLookupReq
+	tagHotPostingsResp
 )
 
 // binaryEncoder is the contract of a binary-codec payload: append-style
@@ -87,6 +90,12 @@ func binaryTag(p simnet.Payload) (byte, bool) {
 		return tagCountResp, true
 	case overlay.TriplesResp:
 		return tagTriplesResp, true
+	case overlay.HotReplicaReq:
+		return tagHotReplicaReq, true
+	case overlay.HotLookupReq:
+		return tagHotLookupReq, true
+	case overlay.HotPostingsResp:
+		return tagHotPostingsResp, true
 	}
 	return 0, false
 }
@@ -160,6 +169,18 @@ func decodeBinary(tag byte, data []byte) (simnet.Payload, error) {
 		return checkRest(v, rest, err)
 	case tagTriplesResp:
 		var v overlay.TriplesResp
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagHotReplicaReq:
+		var v overlay.HotReplicaReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagHotLookupReq:
+		var v overlay.HotLookupReq
+		rest, err := v.DecodeBinary(data)
+		return checkRest(v, rest, err)
+	case tagHotPostingsResp:
+		var v overlay.HotPostingsResp
 		rest, err := v.DecodeBinary(data)
 		return checkRest(v, rest, err)
 	}

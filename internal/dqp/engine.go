@@ -20,13 +20,18 @@ type Engine struct {
 	sys   *overlay.System
 	opts  Options
 	cache *lookupCache
+	// hot is the lookup entry point: the legacy resolve-then-read path on
+	// a static system, the replica-preferring adaptive path when
+	// overlay.Config.Adaptive is on (it learns hot-replica advertisements
+	// per engine, mirroring the per-initiator lookup cache).
+	hot *overlay.LookupClient
 }
 
 // NewEngine creates an engine over the given deployment. An engine holds
 // per-initiator state (the optional lookup cache), so reuse one engine per
 // querying node to benefit from caching.
 func NewEngine(sys *overlay.System, opts Options) *Engine {
-	return &Engine{sys: sys, opts: opts, cache: newLookupCache(0)}
+	return &Engine{sys: sys, opts: opts, cache: newLookupCache(0), hot: overlay.NewLookupClient(sys)}
 }
 
 // CachedLookups reports the number of memoized index resolutions.
@@ -67,6 +72,7 @@ type qctx struct {
 	targets       map[simnet.Addr]bool
 	drops         int
 	cacheHits     int
+	replicaHits   int
 	// rec is the span recorder (nil = tracing disabled, checked once in
 	// Run); tc is the query's root trace context and seq the serial child
 	// allocator — only ever incremented outside Parallel branches, so
@@ -105,6 +111,12 @@ func (c *qctx) countLookup(hops int, hit bool) {
 	if hit {
 		c.cacheHits++
 	}
+}
+
+// countReplicaHit records one lookup served by a hot-key replica holder.
+//adhoclint:faultpath(benign, query-scoped statistics; discarded with the context when the query fails)
+func (c *qctx) countReplicaHit() {
+	c.replicaHits++
 }
 
 // opSpan records an engine-level operation span when tracing is enabled.
@@ -203,6 +215,7 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 		TargetsContacted: len(ctx.targets),
 		StaleDrops:       ctx.drops,
 		CacheHits:        ctx.cacheHits,
+		ReplicaHits:      ctx.replicaHits,
 		Solutions:        len(out.Solutions),
 	}
 	return out, stats, done, nil
@@ -233,6 +246,7 @@ func (e *Engine) runBareDescribe(initiator simnet.Addr, q *sparql.Query, at simn
 		TargetsContacted: len(ctx.targets),
 		StaleDrops:       ctx.drops,
 		CacheHits:        ctx.cacheHits,
+		ReplicaHits:      ctx.replicaHits,
 	}
 	return &Result{Triples: ts, Plan: "Describe"}, stats, done, nil
 }

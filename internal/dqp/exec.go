@@ -383,12 +383,14 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 	planTC := ctx.nextTC(ctx.tc)
 	// rowResult is one resolved location-table row; hops only counts ring
 	// forwarding actually performed (zero on an initiator-cache hit, which
-	// hit reports so the engine can count it after the join).
+	// hit reports so the engine can count it after the join — replica
+	// likewise for lookups served by a hot-key replica holder).
 	type rowResult struct {
 		index    simnet.Addr
 		postings []overlay.Posting
 		hops     int
 		hit      bool
+		replica  bool
 	}
 	//adhoclint:faultpath(abort-all, a failed lookup leaves a pattern without its target set, so the whole query plan is unusable; the first branch error aborts planning)
 	results, done := simnet.Parallel(len(lookups), 0, func(li int) (rowResult, simnet.VTime, error) {
@@ -398,33 +400,30 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 				return rowResult{index: row.index, postings: append([]overlay.Posting(nil), row.postings...), hit: true}, at, nil
 			}
 		}
-		owner, hops, lookupDone, err := e.sys.ResolveKeyTraced(ctx.initiator, key,
-			planTC.Child(uint64(2*li)), at)
+		// The lookup client sends the exact legacy resolve-then-read
+		// sequence on a static system (zero epoch, same trace contexts);
+		// on an adaptive system it may serve the row from a hot-key
+		// replica instead. row.Index stays the key's home successor
+		// either way, so join-site planning is unaffected.
+		row, lookupDone, err := e.hot.Lookup(ctx.initiator, key,
+			planTC.Child(uint64(2*li)), planTC.Child(uint64(2*li+1)), at)
 		if err != nil {
 			if simnet.IsLost(err) {
-				err = &PartialFailureError{Method: chord.MethodFindSuccessor, Err: err}
+				if row.Index == "" {
+					err = &PartialFailureError{Method: chord.MethodFindSuccessor, Err: err}
+				} else {
+					err = &PartialFailureError{Method: overlay.MethodLookup, Missing: []simnet.Addr{row.Index}, Err: err}
+				}
 			}
 			return rowResult{}, lookupDone, err
 		}
-		resp, lookupDone, err := simnet.Retry(simnet.DefaultAttempts, lookupDone,
-			func(at simnet.VTime) (simnet.Payload, simnet.VTime, error) {
-				return e.sys.Net().Call(ctx.initiator, owner, overlay.MethodLookup,
-					overlay.LookupReq{Key: key, TC: planTC.Child(uint64(2*li + 1))}, at)
-			})
-		if err != nil {
-			if simnet.IsLost(err) {
-				err = &PartialFailureError{Method: overlay.MethodLookup, Missing: []simnet.Addr{owner}, Err: err}
-			}
-			return rowResult{}, lookupDone, err
-		}
-		row := rowResult{index: owner, postings: resp.(overlay.PostingsResp).Postings, hops: hops}
 		if e.opts.CacheLookups {
 			e.cache.put(key, cachedRow{
-				index:    owner,
-				postings: append([]overlay.Posting(nil), row.postings...),
+				index:    row.Index,
+				postings: append([]overlay.Posting(nil), row.Postings...),
 			})
 		}
-		return row, lookupDone, nil
+		return rowResult{index: row.Index, postings: row.Postings, hops: row.Hops, replica: row.ReplicaHit}, lookupDone, nil
 	})
 	rows := make(map[chord.ID]rowResult, len(lookups))
 	for li, r := range results {
@@ -433,6 +432,9 @@ func (e *Engine) planPatterns(ctx *qctx, patterns []rdf.Triple, at simnet.VTime)
 		}
 		rows[lookups[li]] = r.Value
 		ctx.countLookup(r.Value.hops, r.Value.hit)
+		if r.Value.replica {
+			ctx.countReplicaHit()
+		}
 	}
 	if len(lookups) > 0 {
 		ctx.opSpan(planTC, "dqp.plan", string(ctx.initiator), "", at, simnet.MaxTime(at, done))

@@ -39,6 +39,9 @@ func init() {
 	gob.Register(overlay.CountReq{})
 	gob.Register(overlay.CountResp{})
 	gob.Register(overlay.TriplesResp{})
+	gob.Register(overlay.HotReplicaReq{})
+	gob.Register(overlay.HotLookupReq{})
+	gob.Register(overlay.HotPostingsResp{})
 
 	gob.Register(chord.Ref{})
 	gob.Register(chord.FindReq{})

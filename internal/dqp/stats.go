@@ -35,6 +35,9 @@ type Stats struct {
 	// CacheHits counts index lookups answered from the initiator's
 	// memoized location-table rows without touching the ring.
 	CacheHits int
+	// ReplicaHits counts index lookups served by a hot-key replica holder
+	// instead of the key's home successor (Adaptive deployments only).
+	ReplicaHits int
 	// Solutions is the number of rows in the final result.
 	Solutions int
 }

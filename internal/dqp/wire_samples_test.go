@@ -8,6 +8,7 @@ import (
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/eval"
+	"adhocshare/internal/trace"
 )
 
 // methodSample is one wire method with representative non-empty request
@@ -60,8 +61,20 @@ func methodSamples() []methodSample {
 			Entries:  []overlay.KeyFreq{{Key: 4, Freq: 2}},
 			Absolute: true,
 		}, ack},
-		{overlay.MethodLookup, overlay.LookupReq{Key: 4},
-			overlay.PostingsResp{Postings: []overlay.Posting{{Node: "n2", Freq: 5}}}},
+		{overlay.MethodLookup, overlay.LookupReq{Key: 4, Epoch: 3},
+			overlay.PostingsResp{Postings: []overlay.Posting{{Node: "n2", Freq: 5}},
+				Replicas: []simnet.Addr{"n3", "n4"}, Epoch: 3}},
+		// Adaptive hot-key replication: the epoch-stamped coherence push
+		// and the replica fast-path read (the invalidation-sensitive
+		// messages the codec fuzz seeds must cover).
+		{overlay.MethodHotReplica, overlay.HotReplicaReq{
+			Key: 4, Home: "n2", Epoch: 3,
+			Postings: []overlay.Posting{{Node: "n2", Freq: 5}},
+			TC:       trace.TraceContext{Query: 7, Span: 9, Parent: 1},
+		}, ack},
+		{overlay.MethodHotLookup, overlay.HotLookupReq{Key: 4, Epoch: 3,
+			TC: trace.TraceContext{Query: 7, Span: 10, Parent: 1}},
+			overlay.HotPostingsResp{Hit: true, Postings: []overlay.Posting{{Node: "n2", Freq: 5}}}},
 		{overlay.MethodTransfer, overlay.TransferReq{From: 1, To: 9}, rows},
 		{overlay.MethodHandover, rows, ack},
 		{overlay.MethodDropNode, overlay.DropNodeReq{Node: "n4", Propagate: true}, ack},

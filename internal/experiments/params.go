@@ -25,10 +25,14 @@ import (
 // run's seed. Setup stays fault-free so every rate sees the identical
 // deployment; only the measured operations run under loss, and the same
 // (Seed, FaultRate) pair always reproduces the same losses.
+// Adaptive turns on workload-adaptive hot-key replication
+// (overlay.Config.Adaptive) for the deployments an experiment builds; the
+// default keeps the paper's static two-level index.
 type Params struct {
 	Seed      int64
 	Clock     *simnet.Clock
 	FaultRate float64
+	Adaptive  bool
 }
 
 // clock returns the injected clock, or a fresh one at virtual time zero.

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"E13", "QoS-aware join-site selection (extension)", E13QoSJoinSite},
 		{"E14", "initiator lookup cache (extension)", E14LookupCache},
 		{"E15", "numeric range queries vs. LPH (extension)", E15RangeQueries},
+		{"E16", "Zipf query storm: adaptive hot-key replication (extension)", E16ZipfStorm},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"adhocshare/internal/chord"
 	"adhocshare/internal/simnet"
+	"adhocshare/internal/trace"
 )
 
 // IndexNode is a ring member willing to host index entries for others
@@ -27,6 +28,10 @@ type IndexNode struct {
 	// put_batch safe to retry even for relative (incrementing) frequencies.
 	seqMu   sync.Mutex
 	lastSeq map[simnet.Addr]uint64
+
+	// hot is the workload-adaptive hot-key state (nil unless
+	// EnableAdaptive ran; see hot.go).
+	hot *hotState
 }
 
 // NewIndexNode creates an index node with the given ring identifier and
@@ -67,7 +72,9 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 			return nil, at, fmt.Errorf("overlay: put payload %T", req)
 		}
 		n.Table.Add(r.Key, r.Node, r.Freq)
-		return n.replicate(at, map[chord.ID][]Posting{r.Key: n.Table.Get(r.Key)})
+		resp, now, err := n.replicate(at, map[chord.ID][]Posting{r.Key: n.Table.Get(r.Key)})
+		n.refreshHot([]chord.ID{r.Key}, trace.TraceContext{}, now)
+		return resp, now, err
 	case MethodReplica:
 		r, ok := req.(TableRows)
 		if !ok {
@@ -84,6 +91,7 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 			return simnet.Bytes(1), at, nil
 		}
 		rows := make(map[chord.ID][]Posting, len(r.Entries))
+		keys := make([]chord.ID, 0, len(r.Entries))
 		for _, e := range r.Entries {
 			if r.Absolute {
 				n.Table.Set(e.Key, r.Node, e.Freq)
@@ -91,14 +99,35 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 				n.Table.Add(e.Key, r.Node, e.Freq)
 			}
 			rows[e.Key] = n.Table.Get(e.Key)
+			keys = append(keys, e.Key)
 		}
-		return n.replicate(at, rows)
+		resp, now, err := n.replicate(at, rows)
+		n.refreshHot(keys, r.TC, now)
+		return resp, now, err
 	case MethodLookup:
 		r, ok := req.(LookupReq)
 		if !ok {
 			return nil, at, fmt.Errorf("overlay: lookup payload %T", req)
 		}
-		return PostingsResp{Postings: n.Table.Get(r.Key)}, at, nil
+		resp := PostingsResp{Postings: n.Table.Get(r.Key)}
+		if n.hot != nil && r.Epoch != 0 {
+			resp.Replicas, resp.Epoch = n.adaptiveTail(r.Key, resp.Postings, r.Epoch, r.TC, at)
+		}
+		return resp, at, nil
+	case MethodHotReplica:
+		r, ok := req.(HotReplicaReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: hot_replica payload %T", req)
+		}
+		n.storeHotReplica(r)
+		return simnet.Bytes(1), at, nil
+	case MethodHotLookup:
+		r, ok := req.(HotLookupReq)
+		if !ok {
+			return nil, at, fmt.Errorf("overlay: hot_lookup payload %T", req)
+		}
+		ps, hit := n.readHotReplica(r.Key, r.Epoch)
+		return HotPostingsResp{Hit: hit, Postings: ps}, at, nil
 	case MethodTransfer:
 		r, ok := req.(TransferReq)
 		if !ok {
@@ -119,6 +148,7 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 			return nil, at, fmt.Errorf("overlay: drop_node payload %T", req)
 		}
 		n.Table.DropNode(r.Node)
+		n.refreshHot(nil, r.TC, at)
 		now := at
 		if r.Propagate && n.replication > 1 {
 			sent := 0

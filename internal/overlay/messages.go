@@ -20,6 +20,7 @@ const (
 	MethodPut = "index.put"
 	//adhoclint:faultpath(idempotent, re-deliveries are suppressed by the per-publisher shipment sequence number, so relative frequency deltas apply exactly once)
 	MethodPutBatch = "index.put_batch"
+	//adhoclint:faultpath(idempotent, the read is side-effect-free and the adaptive tail only bumps an advisory decayed counter and re-pushes absolute hot-replica rows, so re-execution converges to the same state)
 	MethodLookup   = "index.lookup"
 	MethodTransfer = "index.transfer"
 	MethodHandover = "index.handover"
@@ -27,6 +28,10 @@ const (
 	MethodDropNode = "index.drop_node"
 	//adhoclint:faultpath(idempotent, replica sync replaces whole rows absolutely)
 	MethodReplica = "index.replicate"
+	//adhoclint:faultpath(idempotent, hot-replica installs replace the key's replica row absolutely and are epoch-stamped, so re-delivery converges to the same copy)
+	MethodHotReplica = "index.hot_replica"
+	//adhoclint:faultpath(idempotent, the read is side-effect-free except for deleting an epoch-stale replica entry, and re-deleting is a no-op)
+	MethodHotLookup = "index.hot_lookup"
 
 	MethodMatch    = "store.match"
 	MethodChainHop = "store.chain"
@@ -83,26 +88,107 @@ func (r PutBatchReq) SizeBytes() int {
 	return len(r.Node) + 12*len(r.Entries) + boolWidth(r.Absolute) + seqWidth(r.Seq) + r.TC.SizeBytes()
 }
 
-// LookupReq reads the location-table row for a key.
+// LookupReq reads the location-table row for a key. Epoch, when non-zero,
+// is the initiator's stabilization epoch and opts the request into the
+// adaptive hot-key machinery: the home node counts the lookup and may
+// advertise epoch-stamped replicas in the response. Static initiators send
+// zero and the request is byte-identical to the pre-adaptive wire format.
 type LookupReq struct {
-	Key chord.ID
-	TC  trace.TraceContext
+	Key   chord.ID
+	Epoch uint64
+	TC    trace.TraceContext
 }
 
 // SizeBytes implements simnet.Payload.
-func (r LookupReq) SizeBytes() int { return r.Key.SizeBytes() + r.TC.SizeBytes() }
+func (r LookupReq) SizeBytes() int {
+	n := r.Key.SizeBytes() + r.TC.SizeBytes()
+	if r.Epoch != 0 {
+		n += seqWidth(r.Epoch)
+	}
+	return n
+}
 
 // TraceCtx implements trace.Carrier.
 func (r LookupReq) TraceCtx() trace.TraceContext { return r.TC }
 
-// PostingsResp carries a location-table row.
+// PostingsResp carries a location-table row. Replicas/Epoch are the
+// adaptive hot-key advertisement: the addresses holding an epoch-stamped
+// copy of the row, valid only while the initiator's epoch equals Epoch.
+// Both stay zero on the static path, costing no wire bytes.
 type PostingsResp struct {
 	Postings []Posting
+	Replicas []simnet.Addr
+	Epoch    uint64
 }
 
 // SizeBytes implements simnet.Payload.
 func (r PostingsResp) SizeBytes() int {
 	n := 4
+	for _, p := range r.Postings {
+		n += p.SizeBytes()
+	}
+	for _, a := range r.Replicas {
+		n += len(a)
+	}
+	if r.Epoch != 0 {
+		n += seqWidth(r.Epoch)
+	}
+	return n
+}
+
+// HotReplicaReq pushes an absolute, epoch-stamped copy of a hot key's
+// location-table row from its home successor to a ring-successor replica
+// holder. Installs replace the previous copy wholesale, so re-delivery and
+// re-execution converge; pushes are advisory fire-and-forget — a lost push
+// merely leaves a replica that answers "miss" and the initiator falls back
+// to the home successor.
+type HotReplicaReq struct {
+	Key      chord.ID
+	Home     simnet.Addr
+	Epoch    uint64
+	Postings []Posting
+	TC       trace.TraceContext
+}
+
+// SizeBytes implements simnet.Payload.
+func (r HotReplicaReq) SizeBytes() int {
+	n := r.Key.SizeBytes() + len(r.Home) + seqWidth(r.Epoch) + 4 + r.TC.SizeBytes()
+	for _, p := range r.Postings {
+		n += p.SizeBytes()
+	}
+	return n
+}
+
+// TraceCtx implements trace.Carrier.
+func (r HotReplicaReq) TraceCtx() trace.TraceContext { return r.TC }
+
+// HotLookupReq reads a hot key's replica row, valid only if the holder's
+// stored copy carries exactly the requested epoch.
+type HotLookupReq struct {
+	Key   chord.ID
+	Epoch uint64
+	TC    trace.TraceContext
+}
+
+// SizeBytes implements simnet.Payload.
+func (r HotLookupReq) SizeBytes() int {
+	return r.Key.SizeBytes() + seqWidth(r.Epoch) + r.TC.SizeBytes()
+}
+
+// TraceCtx implements trace.Carrier.
+func (r HotLookupReq) TraceCtx() trace.TraceContext { return r.TC }
+
+// HotPostingsResp answers a replica read. Hit=false means the holder has
+// no copy for the requested epoch (never pushed, or epoch-stale and now
+// discarded) and the initiator must fall back to the home successor.
+type HotPostingsResp struct {
+	Hit      bool
+	Postings []Posting
+}
+
+// SizeBytes implements simnet.Payload.
+func (r HotPostingsResp) SizeBytes() int {
+	n := boolWidth(r.Hit) + 4
 	for _, p := range r.Postings {
 		n += p.SizeBytes()
 	}

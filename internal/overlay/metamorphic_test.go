@@ -9,8 +9,10 @@ import (
 	"testing/quick"
 	"time"
 
+	"adhocshare/internal/chord"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
+	"adhocshare/internal/trace"
 )
 
 // metaVocab is a small closed vocabulary so random retractions hit
@@ -50,8 +52,13 @@ type metaOp struct {
 
 func newMetaSystem(t *testing.T, serialPublish bool, providers []simnet.Addr) (*System, simnet.VTime) {
 	t.Helper()
-	s := NewSystem(Config{Bits: 16, Replication: 2, SerialPublish: serialPublish,
-		Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}})
+	return newMetaSystemCfg(t, Config{Bits: 16, Replication: 2, SerialPublish: serialPublish,
+		Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}}, providers)
+}
+
+func newMetaSystemCfg(t *testing.T, cfg Config, providers []simnet.Addr) (*System, simnet.VTime) {
+	t.Helper()
+	s := NewSystem(cfg)
 	now := simnet.VTime(0)
 	for i := 0; i < 3; i++ {
 		_, done, err := s.AddIndexNode(simnet.Addr(fmt.Sprintf("idx-%d", i)), now)
@@ -93,6 +100,32 @@ func applyMetaOps(t *testing.T, s *System, ops []metaOp, at simnet.VTime) simnet
 		now = done
 	}
 	return now
+}
+
+// drawMetaOps draws a random mutation sequence from the shared vocabulary.
+func drawMetaOps(rng *rand.Rand, providers []simnet.Addr, graphs []string, pool []rdf.Triple) []metaOp {
+	nOps := 8 + rng.Intn(12)
+	ops := make([]metaOp, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		op := metaOp{kind: rng.Intn(4), provider: providers[rng.Intn(len(providers))]}
+		switch op.kind {
+		case 1:
+			op.graph = graphs[rng.Intn(len(graphs))]
+			fallthrough
+		case 0:
+			n := 1 + rng.Intn(6)
+			for j := 0; j < n; j++ {
+				op.triples = append(op.triples, pool[rng.Intn(len(pool))])
+			}
+		case 2:
+			n := 1 + rng.Intn(4)
+			for j := 0; j < n; j++ {
+				op.triples = append(op.triples, pool[rng.Intn(len(pool))])
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
 }
 
 // indexState renders the aggregate index (every live index node's
@@ -151,27 +184,7 @@ func TestMetamorphicIndexRebuild(t *testing.T) {
 
 	trial := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		nOps := 8 + rng.Intn(12)
-		ops := make([]metaOp, 0, nOps)
-		for i := 0; i < nOps; i++ {
-			op := metaOp{kind: rng.Intn(4), provider: providers[rng.Intn(len(providers))]}
-			switch op.kind {
-			case 1:
-				op.graph = graphs[rng.Intn(len(graphs))]
-				fallthrough
-			case 0:
-				n := 1 + rng.Intn(6)
-				for j := 0; j < n; j++ {
-					op.triples = append(op.triples, pool[rng.Intn(len(pool))])
-				}
-			case 2:
-				n := 1 + rng.Intn(4)
-				for j := 0; j < n; j++ {
-					op.triples = append(op.triples, pool[rng.Intn(len(pool))])
-				}
-			}
-			ops = append(ops, op)
-		}
+		ops := drawMetaOps(rng, providers, graphs, pool)
 
 		serialSys, now := newMetaSystem(t, true, providers)
 		applyMetaOps(t, serialSys, ops, now)
@@ -278,5 +291,109 @@ func TestMutateAfterPublishDoesNotAlterIndex(t *testing.T) {
 			t.Errorf("serial=%v: republish after caller mutation diverged\nbefore:\n%s\nafter:\n%s",
 				serial, before, after)
 		}
+	}
+}
+
+// metaBurst is the number of Zipf-drawn lookups fired between consecutive
+// mutations in the adaptive-equivalence trials: large enough that hot keys
+// cross the promotion threshold and the replica fast path actually serves
+// reads.
+const metaBurst = 8
+
+// renderPostings renders a posting row canonically (sorted by node).
+func renderPostings(ps []Posting) string {
+	sorted := append([]Posting(nil), ps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	return fmt.Sprint(sorted)
+}
+
+// TestMetamorphicAdaptiveEquivalence pins the central property of the
+// workload-adaptive index (DESIGN.md §9): under any seeded interleaving of
+// publish/retract/republish mutations with Zipf-skewed lookup bursts,
+// turning Config.Adaptive on must not change a single query answer nor the
+// final location tables — hot-key replicas are a cache, never a second
+// source of truth — and on the skewed workload the adaptive system must
+// not cost more fabric traffic than the static one.
+func TestMetamorphicAdaptiveEquivalence(t *testing.T) {
+	pool := metaVocab()
+	providers := []simnet.Addr{"P0", "P1", "P2"}
+	graphs := []string{"urn:g1", "urn:g2"}
+
+	// The lookup targets are the vocabulary's ⟨p,o⟩ pattern keys,
+	// deduplicated; the Zipf draw concentrates each burst on a few of
+	// them, the hot-key regime the detector is built for.
+	var keys []chord.ID
+	seen := map[chord.ID]bool{}
+	for _, tr := range pool {
+		key, _, ok := PatternKey(rdf.Triple{P: tr.P, O: tr.O}, 16)
+		if ok && !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) < 2 {
+		t.Fatalf("vocabulary yielded %d distinct pattern keys, want >= 2", len(keys))
+	}
+
+	adaptiveCfg := func(adaptive bool) Config {
+		return Config{Bits: 16, Replication: 2, Adaptive: adaptive,
+			HotThreshold: 3, HotReplicas: 2,
+			Net: simnet.Config{BaseLatency: time.Millisecond, Bandwidth: 1 << 20}}
+	}
+
+	trial := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := drawMetaOps(rng, providers, graphs, pool)
+		zipf := rand.NewZipf(rand.New(rand.NewSource(seed^0x5eed)), 1.6, 1, uint64(len(keys)-1))
+
+		staticSys, nowS := newMetaSystemCfg(t, adaptiveCfg(false), providers)
+		adaptSys, nowA := newMetaSystemCfg(t, adaptiveCfg(true), providers)
+		staticClient := NewLookupClient(staticSys)
+		adaptClient := NewLookupClient(adaptSys)
+
+		for oi, op := range ops {
+			nowS = applyMetaOps(t, staticSys, []metaOp{op}, nowS)
+			nowA = applyMetaOps(t, adaptSys, []metaOp{op}, nowA)
+			for q := 0; q < metaBurst; q++ {
+				key := keys[int(zipf.Uint64())]
+				rowS, doneS, err := staticClient.Lookup("P0", key,
+					trace.TraceContext{}, trace.TraceContext{}, nowS)
+				if err != nil {
+					t.Fatalf("seed %d op %d query %d: static lookup: %v", seed, oi, q, err)
+				}
+				nowS = doneS
+				rowA, doneA, err := adaptClient.Lookup("P0", key,
+					trace.TraceContext{}, trace.TraceContext{}, nowA)
+				if err != nil {
+					t.Fatalf("seed %d op %d query %d: adaptive lookup: %v", seed, oi, q, err)
+				}
+				nowA = doneA
+				if s, a := renderPostings(rowS.Postings), renderPostings(rowA.Postings); s != a {
+					t.Errorf("seed %d op %d query %d key %v: answers diverged (replica hit %v)\nstatic:   %s\nadaptive: %s",
+						seed, oi, q, key, rowA.ReplicaHit, s, a)
+					return false
+				}
+			}
+		}
+
+		if s, a := indexState(staticSys), indexState(adaptSys); s != a {
+			t.Errorf("seed %d: final location tables diverged\nstatic:\n%s\nadaptive:\n%s", seed, s, a)
+			return false
+		}
+		assertFreqsPositive(t, staticSys, fmt.Sprintf("seed %d static", seed))
+		assertFreqsPositive(t, adaptSys, fmt.Sprintf("seed %d adaptive", seed))
+
+		st, ad := staticSys.Net().Metrics(), adaptSys.Net().Metrics()
+		if ad.Messages > st.Messages || ad.Bytes > st.Bytes {
+			t.Errorf("seed %d: adaptive cost more than static on the hot-key workload: %d/%d msgs, %d/%d bytes",
+				seed, ad.Messages, st.Messages, ad.Bytes, st.Bytes)
+			return false
+		}
+		return true
+	}
+
+	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(trial, cfg); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"adhocshare/internal/chord"
 	"adhocshare/internal/rdf"
@@ -27,6 +28,22 @@ type Config struct {
 	// ships the per-owner batches in parallel; the serial path is retained
 	// as the differential baseline for tests and the E2 comparison.
 	SerialPublish bool
+	// Adaptive enables workload-adaptive hot-key replication (default
+	// off): index nodes count lookups per key with a decayed threshold and
+	// push epoch-stamped copies of hot rows to ring successors, which
+	// adaptive initiators (LookupClient) then read in place of the home
+	// successor. The static path stays byte-identical with the knob off.
+	Adaptive bool
+	// HotThreshold is the decayed per-key lookup count at which a key is
+	// promoted to hot (default 4).
+	HotThreshold int
+	// HotHalfLife is the virtual-time window after which a key's lookup
+	// count halves (default 2s of VTime). Decay is computed in whole
+	// windows from integer VTimes, so it is deterministic.
+	HotHalfLife simnet.VTime
+	// HotReplicas is the number of ring successors that receive a copy of
+	// a hot key's row (default 2).
+	HotReplicas int
 	// Net is the simulated network cost model.
 	Net simnet.Config
 }
@@ -40,6 +57,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replication <= 0 {
 		c.Replication = 2
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 4
+	}
+	if c.HotHalfLife <= 0 {
+		c.HotHalfLife = simnet.VTime(2 * time.Second)
+	}
+	if c.HotReplicas <= 0 {
+		c.HotReplicas = 2
 	}
 	return c
 }
@@ -161,6 +187,13 @@ func (s *System) AddIndexNodeWithID(addr simnet.Addr, id chord.ID, at simnet.VTi
 		}
 	}
 	n := NewIndexNode(s.net, addr, id, chord.Config{Bits: s.cfg.Bits, SuccListSize: s.cfg.SuccListSize}, s.cfg.Replication)
+	if s.cfg.Adaptive {
+		n.EnableAdaptive(AdaptiveParams{
+			Threshold: s.cfg.HotThreshold,
+			HalfLife:  s.cfg.HotHalfLife,
+			Replicas:  s.cfg.HotReplicas,
+		})
+	}
 	s.index[addr] = n
 	s.mu.Unlock()
 

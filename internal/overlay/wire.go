@@ -88,6 +88,7 @@ func (r *PutBatchReq) DecodeBinary(b []byte) ([]byte, error) {
 // EncodeBinary appends the lookup request's binary wire form to dst.
 func (r LookupReq) EncodeBinary(dst []byte) []byte {
 	dst = wirebin.AppendUvarint(dst, uint64(r.Key))
+	dst = wirebin.AppendUvarint(dst, r.Epoch)
 	return r.TC.EncodeBinary(dst)
 }
 
@@ -98,41 +99,149 @@ func (r *LookupReq) DecodeBinary(b []byte) ([]byte, error) {
 		return b, err
 	}
 	r.Key = chord.ID(key)
+	if r.Epoch, b, err = wirebin.Uvarint(b); err != nil {
+		return b, err
+	}
 	b, err = r.TC.DecodeBinary(b)
 	return b, err
 }
 
-// EncodeBinary appends the postings row's binary wire form to dst.
-func (r PostingsResp) EncodeBinary(dst []byte) []byte {
-	dst = wirebin.AppendUvarint(dst, uint64(len(r.Postings)))
-	for _, p := range r.Postings {
+// appendPostings appends a postings row (count-prefixed) to dst.
+func appendPostings(dst []byte, ps []Posting) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
 		dst = wirebin.AppendString(dst, string(p.Node))
 		dst = wirebin.AppendInt(dst, p.Freq)
 	}
 	return dst
 }
 
+// decodePostings consumes a count-prefixed postings row from b.
+func decodePostings(b []byte) ([]Posting, []byte, error) {
+	n, b, err := wirebin.Len(b)
+	if err != nil {
+		return nil, b, err
+	}
+	var ps []Posting
+	if n > 0 {
+		ps = make([]Posting, n)
+		for i := range ps {
+			var node string
+			if node, b, err = wirebin.String(b); err != nil {
+				return nil, b, err
+			}
+			ps[i].Node = simnet.Addr(node)
+			if ps[i].Freq, b, err = wirebin.Int(b); err != nil {
+				return nil, b, err
+			}
+		}
+	}
+	return ps, b, nil
+}
+
+// EncodeBinary appends the postings row's binary wire form to dst.
+func (r PostingsResp) EncodeBinary(dst []byte) []byte {
+	dst = appendPostings(dst, r.Postings)
+	dst = wirebin.AppendUvarint(dst, uint64(len(r.Replicas)))
+	for _, a := range r.Replicas {
+		dst = wirebin.AppendString(dst, string(a))
+	}
+	return wirebin.AppendUvarint(dst, r.Epoch)
+}
+
 // DecodeBinary consumes one postings row from b and returns the rest.
 func (r *PostingsResp) DecodeBinary(b []byte) ([]byte, error) {
+	ps, b, err := decodePostings(b)
+	if err != nil {
+		return b, err
+	}
+	r.Postings = ps
 	n, b, err := wirebin.Len(b)
 	if err != nil {
 		return b, err
 	}
-	r.Postings = nil
+	r.Replicas = nil
 	if n > 0 {
-		r.Postings = make([]Posting, n)
-		for i := range r.Postings {
-			var node string
-			if node, b, err = wirebin.String(b); err != nil {
+		r.Replicas = make([]simnet.Addr, n)
+		for i := range r.Replicas {
+			var a string
+			if a, b, err = wirebin.String(b); err != nil {
 				return b, err
 			}
-			r.Postings[i].Node = simnet.Addr(node)
-			if r.Postings[i].Freq, b, err = wirebin.Int(b); err != nil {
-				return b, err
-			}
+			r.Replicas[i] = simnet.Addr(a)
 		}
 	}
-	return b, nil
+	r.Epoch, b, err = wirebin.Uvarint(b)
+	return b, err
+}
+
+// EncodeBinary appends the hot-replica push's binary wire form to dst.
+func (r HotReplicaReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.Key))
+	dst = wirebin.AppendString(dst, string(r.Home))
+	dst = wirebin.AppendUvarint(dst, r.Epoch)
+	dst = appendPostings(dst, r.Postings)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one hot-replica push from b and returns the rest.
+func (r *HotReplicaReq) DecodeBinary(b []byte) ([]byte, error) {
+	key, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.Key = chord.ID(key)
+	home, b, err := wirebin.String(b)
+	if err != nil {
+		return b, err
+	}
+	r.Home = simnet.Addr(home)
+	if r.Epoch, b, err = wirebin.Uvarint(b); err != nil {
+		return b, err
+	}
+	if r.Postings, b, err = decodePostings(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the replica read's binary wire form to dst.
+func (r HotLookupReq) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(r.Key))
+	dst = wirebin.AppendUvarint(dst, r.Epoch)
+	return r.TC.EncodeBinary(dst)
+}
+
+// DecodeBinary consumes one replica read from b and returns the rest.
+func (r *HotLookupReq) DecodeBinary(b []byte) ([]byte, error) {
+	key, b, err := wirebin.Uvarint(b)
+	if err != nil {
+		return b, err
+	}
+	r.Key = chord.ID(key)
+	if r.Epoch, b, err = wirebin.Uvarint(b); err != nil {
+		return b, err
+	}
+	b, err = r.TC.DecodeBinary(b)
+	return b, err
+}
+
+// EncodeBinary appends the replica read answer's binary wire form to dst.
+func (r HotPostingsResp) EncodeBinary(dst []byte) []byte {
+	dst = wirebin.AppendBool(dst, r.Hit)
+	return appendPostings(dst, r.Postings)
+}
+
+// DecodeBinary consumes one replica read answer from b and returns the
+// rest.
+func (r *HotPostingsResp) DecodeBinary(b []byte) ([]byte, error) {
+	var err error
+	if r.Hit, b, err = wirebin.Bool(b); err != nil {
+		return b, err
+	}
+	r.Postings, b, err = decodePostings(b)
+	return b, err
 }
 
 // EncodeBinary appends the transfer request's binary wire form to dst.
