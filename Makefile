@@ -17,8 +17,8 @@ lint:
 
 # Per-package rules only: skips the whole-program analyses (lock-order,
 # lock-blocking's interprocedural half, rpc-protocol, payload-size,
-# wireiso, vtime, alloc, codec, faultpath), which load the full module. Quick pre-commit check;
-# CI and `make lint` always run everything.
+# wireiso, vtime, alloc, codec, faultpath, racefree), which load the full
+# module. Quick pre-commit check; CI and `make lint` always run everything.
 lint-fast:
 	$(GO) run ./cmd/adhoclint -rules guarded-field,determinism,goroutine-hygiene,discarded-error ./...
 
@@ -31,15 +31,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Regenerate BENCH_PR8.json: E2 publish, the E9 end-to-end query both
-# fault-free and under 1% deterministic message loss (the overhead of the
-# retry machinery), the E16 Zipf-storm pair (static vs. adaptive hot-key
-# replication, with hot-node share and tail VTime as domain metrics), and
-# the binary-vs-gob codec pairs measured in the same run. The test fails
-# if the binary codec stops beating the gob baseline on allocs/op, or the
-# adaptive index stops beating the static one on the storm.
+# Regenerate BENCH_PR9.json: E2 publish, the E9 end-to-end query
+# fault-free, under 1% deterministic message loss (the overhead of the
+# retry machinery) and under ConcurrentDelivery (the host-side cost of
+# per-message handler goroutines), the E16 Zipf-storm pair (static vs.
+# adaptive hot-key replication, with hot-node share and tail VTime as
+# domain metrics), and the binary-vs-gob codec pairs measured in the same
+# run. The test fails if the binary codec stops beating the gob baseline
+# on allocs/op, or the adaptive index stops beating the static one.
 bench-json:
-	BENCH_JSON=$(CURDIR)/BENCH_PR8.json $(GO) test -run '^TestWriteBenchJSON$$' -count=1 -v .
+	BENCH_JSON=$(CURDIR)/BENCH_PR9.json $(GO) test -run '^TestWriteBenchJSON$$' -count=1 -v .
 
 # Short coverage-guided fuzz pass over the text front ends and the wire
 # codec; CI runs the same targets as a smoke stage. Crashers land in

@@ -9,9 +9,10 @@ package adhocshare
 // allocs/op and ns/op columns are directly comparable.
 //
 // TestWriteBenchJSON re-runs those pairs plus the E2 publish and the E9
-// end-to-end query experiments — the latter both fault-free and under 1%
-// deterministic message loss, so the retry machinery's overhead is a
-// tracked number — and the E16 Zipf-storm pair (static vs. adaptive
+// end-to-end query experiments — the latter fault-free, under 1%
+// deterministic message loss (the retry machinery's overhead), and under
+// simnet's ConcurrentDelivery mode (the host-side cost of per-message
+// handler goroutines) — and the E16 Zipf-storm pair (static vs. adaptive
 // hot-key replication, with the hot-node byte share and steady-state tail
 // as domain metrics) under testing.Benchmark, and writes the per-scenario
 // numbers (ns/op, allocs/op, bytes/op, ops/sec) to the file named by the
@@ -145,7 +146,7 @@ func runScenario(name string, fn func(b *testing.B)) benchScenario {
 	}
 }
 
-// TestWriteBenchJSON regenerates BENCH_PR8.json. It runs only when
+// TestWriteBenchJSON regenerates BENCH_PR9.json. It runs only when
 // BENCH_JSON names the output path (`make bench-json` sets it), and fails
 // if the binary codec does not beat the gob baseline on allocs/op for the
 // fabric hot paths, or if the adaptive index does not strictly beat the
@@ -173,6 +174,18 @@ func TestWriteBenchJSON(t *testing.T) {
 		b.ReportAllocs()
 		benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
 			p.FaultRate = 0.01
+			return experiments.E9Fig4EndToEnd(p)
+		})
+	}))
+	// The concurrent-delivery twin of e9_query: identical simulated work
+	// (same-seed tables are byte-identical by construction), with every
+	// remote handler on its own goroutine. The delta against e9_query is
+	// the host-side cost of per-message goroutines — the price of running
+	// the CI race matrix in that mode.
+	scenarios = append(scenarios, runScenario("e9_query_concurrent", func(b *testing.B) {
+		b.ReportAllocs()
+		benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
+			p.Concurrent = true
 			return experiments.E9Fig4EndToEnd(p)
 		})
 	}))

@@ -23,7 +23,7 @@ func (d Diagnostic) String() string {
 var ruleNames = []string{
 	ruleGuarded, ruleLockBlocking, ruleLockOrder, ruleRPCProto, rulePayloadSize,
 	ruleDeterminism, ruleGoroutine, ruleDiscardedError, ruleWireIso, ruleVTime,
-	ruleAlloc, ruleCodec, ruleFaultPath,
+	ruleAlloc, ruleCodec, ruleFaultPath, ruleRaceFree,
 }
 
 const (
@@ -40,6 +40,7 @@ const (
 	ruleAlloc          = "alloc"
 	ruleCodec          = "codec"
 	ruleFaultPath      = "faultpath"
+	ruleRaceFree       = "racefree"
 )
 
 // ruleDocs gives each rule its one-line description, shown by -list and
@@ -58,6 +59,7 @@ var ruleDocs = map[string]string{
 	ruleAlloc:          "no avoidable per-message heap allocation (fmt.Sprintf, string accumulation, unsized container growth, interface boxing, closures in loops) in functions reachable from HandleCall dispatch or fabric calls; cold helpers carry //adhoclint:hotexempt",
 	ruleCodec:          "every RPC wire type must be gob-registered and either carry a field-complete EncodeBinary/DecodeBinary pair wired into the codec dispatch or an explaining //adhoclint:gobfallback directive",
 	ruleFaultPath:      "every fabric interaction must declare its failure disposition: discarded errors need faultpath(fire-and-forget), Parallel fan-outs declare abort-all or collect-partial, mutate-then-send paths declare compensated, retried handlers deduplicate and declare idempotent, Retry closures depart at the attempt time",
+	ruleRaceFree:       "concurrently-invocable node entry points (HandleCall handlers and exported methods of the same node type) must not conflict on a node field without a common mutex class; exempt with //adhoclint:racefree(reason)",
 }
 
 // LintPackage runs every enabled rule over one package and returns the
@@ -99,6 +101,7 @@ func LintProgram(prog *Program, enabled map[string]bool) []Diagnostic {
 	diags = append(diags, checkAlloc(prog, enabled)...)
 	diags = append(diags, checkCodec(prog, enabled)...)
 	diags = append(diags, checkFaultPath(prog, enabled)...)
+	diags = append(diags, checkRaceFree(prog, enabled)...)
 	ignores := map[ignoreKey][]string{}
 	for _, p := range prog.Pkgs {
 		collectIgnores(p, ignores)

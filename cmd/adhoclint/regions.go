@@ -131,7 +131,14 @@ func muEvents(fn *ast.FuncDecl) []muEvent {
 // block — erring on the side of "still locked", which keeps the
 // guarded-field rule permissive and the blocking rule conservative.
 func muRegions(fn *ast.FuncDecl) []muRegion {
-	events := muEvents(fn)
+	return regionsFromEvents(fn, muEvents(fn))
+}
+
+// regionsFromEvents derives the held spans from an explicit event list, so
+// analyses with a wider mutex recognizer (the racefree rule accepts any
+// sync.Mutex/RWMutex-typed field, not just the convention name "mu") share
+// the same region heuristic.
+func regionsFromEvents(fn *ast.FuncDecl, events []muEvent) []muRegion {
 	if len(events) == 0 {
 		return nil
 	}

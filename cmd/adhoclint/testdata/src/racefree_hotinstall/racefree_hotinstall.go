@@ -1,0 +1,61 @@
+// Package racefree_hotinstall reproduces the one real finding the
+// racefree rule surfaced on the production tree: overlay.IndexNode
+// installed its adaptive hot-key state with a plain pointer store
+// (EnableAdaptive) while HandleCall read the pointer on the lookup path —
+// a latent race the serial fabric could never exhibit. The fix gave the
+// pointer its own mutex (hotMu + hotRef); this fixture pins the pre-fix
+// shape so the rule keeps catching it.
+package racefree_hotinstall
+
+import (
+	"sync"
+
+	"adhocshare/internal/simnet"
+)
+
+// Req is a minimal payload.
+type Req struct{ N int }
+
+// SizeBytes implements simnet.Payload.
+func (Req) SizeBytes() int { return 8 }
+
+// hotState mirrors the internally-locked detector state: its own fields
+// are safe, the pointer to it is what races.
+type hotState struct {
+	mu       sync.Mutex
+	counters map[string]int
+}
+
+// Node is the pre-fix IndexNode shape.
+type Node struct {
+	hot *hotState
+
+	// deadline has the same unguarded shape but carries an ignore
+	// directive at its write, exercising the shared ignore grammar.
+	deadline simnet.VTime
+}
+
+// HandleCall reads the hot pointer on every dispatch.
+func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (simnet.Payload, simnet.VTime, error) {
+	if n.hot != nil {
+		n.hot.mu.Lock()
+		n.hot.counters[method]++
+		n.hot.mu.Unlock()
+	}
+	if at > n.deadline {
+		return nil, at, nil
+	}
+	return Req{}, at + 1, nil
+}
+
+// EnableAdaptive installs the detector with a bare store — the racing
+// write.
+func (n *Node) EnableAdaptive() {
+	n.hot = &hotState{counters: make(map[string]int)}
+}
+
+// SetDeadline is the same bug shape, suppressed the standard way.
+func (n *Node) SetDeadline(d simnet.VTime) {
+	//adhoclint:ignore racefree(fixture: demonstrates suppression; the driver sets the deadline before serving)
+	n.deadline = d
+}

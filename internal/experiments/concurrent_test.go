@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adhocshare/internal/workload"
+)
+
+// The concurrent-delivery mode is the dynamic half of the racefree wall:
+// handlers of concurrently in-flight messages run on independent
+// goroutines (so `go test -race` observes true handler concurrency) while
+// every simulated quantity stays byte-identical to a serial run. These
+// tests are the CI race-smoke surface: the full 12-configuration E9
+// strategy matrix with ConcurrentDelivery on, plus the byte-identity
+// bridge back to serial delivery.
+
+// TestE9AllConfigsConcurrentDelivery runs the full 12-configuration E9
+// strategy matrix with ConcurrentDelivery (and the adaptive hot-key path,
+// the state the racefree rule had to fix) turned on: every configuration
+// must still return the centralized-oracle solution multiset.
+func TestE9AllConfigsConcurrentDelivery(t *testing.T) {
+	p := Params{Seed: 7, Adaptive: true, Concurrent: true}
+	d := e9Dataset(p)
+	q := workload.QueryFig4("Smith")
+	want := centralOracle(t, d.UnionGraph(), q)
+	if len(want) == 0 {
+		t.Fatal("oracle returned no solutions — the workload no longer exercises the Fig. 4 query")
+	}
+	for _, opts := range e9Configs() {
+		dep, err := buildDeployment(p, 8, d)
+		if err != nil {
+			t.Fatalf("build %+v: %v", opts, err)
+		}
+		res, _, err := dep.runQuery(opts, "D00", q)
+		label := fmt.Sprintf("%v/%v/push=%v", opts.Strategy, opts.Conjunction, opts.PushFilters)
+		if err != nil {
+			t.Errorf("%s: concurrent-delivery run failed: %v", label, err)
+			continue
+		}
+		if len(res.Solutions) != len(want) || !subMultiset(res.Solutions, want) || !subMultiset(want, res.Solutions) {
+			t.Errorf("%s: concurrent-delivery result != oracle: %d solutions, want %d",
+				label, len(res.Solutions), len(want))
+		}
+	}
+}
+
+// TestE9ConcurrentDeliveryByteIdenticalTables renders the whole E9 table
+// serially and under ConcurrentDelivery with the same seed: the transcripts
+// must be byte-identical — concurrency changes the host schedule, never a
+// virtual time, a traffic count or a row.
+func TestE9ConcurrentDeliveryByteIdenticalTables(t *testing.T) {
+	render := func(p Params) string {
+		tab, err := E9Fig4EndToEnd(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		var b strings.Builder
+		tab.Fprint(&b)
+		return b.String()
+	}
+	for _, seed := range []int64{0, 7} {
+		serial := render(Params{Seed: seed})
+		concurrent := render(Params{Seed: seed, Concurrent: true})
+		if serial != concurrent {
+			t.Errorf("seed %d: concurrent-delivery E9 table differs from serial:\n--- serial ---\n%s--- concurrent ---\n%s",
+				seed, serial, concurrent)
+		}
+	}
+}
+
+// TestE9ConcurrentDeliveryUnderLossByteIdentical layers the deterministic
+// fault plan on top: loss draws hash simulated leg coordinates only, so
+// the same (Seed, FaultRate) must reproduce the same table whether
+// handlers run inline or on per-message goroutines.
+func TestE9ConcurrentDeliveryUnderLossByteIdentical(t *testing.T) {
+	render := func(p Params) string {
+		tab, err := E9Fig4EndToEnd(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		var b strings.Builder
+		tab.Fprint(&b)
+		return b.String()
+	}
+	serial := render(Params{Seed: 7, FaultRate: 0.01})
+	concurrent := render(Params{Seed: 7, FaultRate: 0.01, Concurrent: true})
+	if serial != concurrent {
+		t.Errorf("concurrent-delivery E9 table under loss differs from serial:\n--- serial ---\n%s--- concurrent ---\n%s",
+			serial, concurrent)
+	}
+}

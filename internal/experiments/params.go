@@ -28,11 +28,18 @@ import (
 // Adaptive turns on workload-adaptive hot-key replication
 // (overlay.Config.Adaptive) for the deployments an experiment builds; the
 // default keeps the paper's static two-level index.
+//
+// Concurrent turns on simnet.Config.ConcurrentDelivery for the deployment
+// fabric: every remote handler runs on its own goroutine with a
+// deterministic commit order. All simulated quantities — VTimes, traffic,
+// tables — are byte-identical to a serial run with the same Params; the
+// mode exists so `-race` runs observe true handler concurrency.
 type Params struct {
-	Seed      int64
-	Clock     *simnet.Clock
-	FaultRate float64
-	Adaptive  bool
+	Seed       int64
+	Clock      *simnet.Clock
+	FaultRate  float64
+	Adaptive   bool
+	Concurrent bool
 }
 
 // clock returns the injected clock, or a fresh one at virtual time zero.

@@ -90,7 +90,7 @@ func (n *IndexNode) EnableAdaptive(p AdaptiveParams) {
 	if p.Replicas <= 0 {
 		p.Replicas = 2
 	}
-	n.hot = &hotState{
+	st := &hotState{
 		threshold: p.Threshold,
 		halfLife:  p.HalfLife,
 		replicas:  p.Replicas,
@@ -98,6 +98,9 @@ func (n *IndexNode) EnableAdaptive(p AdaptiveParams) {
 		entries:   make(map[chord.ID]hotEntry),
 		held:      make(map[chord.ID]heldReplica),
 	}
+	n.hotMu.Lock()
+	n.hot = st
+	n.hotMu.Unlock()
 }
 
 // noteLookup bumps the key's decayed counter at virtual time `at` and
@@ -134,8 +137,7 @@ func (h *hotState) noteLookup(key chord.ID, at simnet.VTime) bool {
 // holder that answers "miss". postings is the fresh copy already built
 // for the response; the pushes get their own copy so no two payloads
 // alias one slice.
-func (n *IndexNode) adaptiveTail(key chord.ID, postings []Posting, epoch uint64, tc trace.TraceContext, at simnet.VTime) ([]simnet.Addr, uint64) {
-	h := n.hot
+func (n *IndexNode) adaptiveTail(h *hotState, key chord.ID, postings []Posting, epoch uint64, tc trace.TraceContext, at simnet.VTime) ([]simnet.Addr, uint64) {
 	if !h.noteLookup(key, at) {
 		return nil, 0
 	}
@@ -145,7 +147,7 @@ func (n *IndexNode) adaptiveTail(key chord.ID, postings []Posting, epoch uint64,
 	if ok && entry.epoch == epoch {
 		return append([]simnet.Addr(nil), entry.replicas...), epoch
 	}
-	targets := n.hotTargets()
+	targets := n.hotTargets(h)
 	if len(targets) == 0 {
 		return nil, 0
 	}
@@ -164,11 +166,11 @@ func (n *IndexNode) adaptiveTail(key chord.ID, postings []Posting, epoch uint64,
 // hotTargets picks up to `replicas` live ring successors (excluding the
 // node itself) as holders for hot copies — the same walk replicate() uses
 // for durability copies, so hot placement follows ring locality.
-func (n *IndexNode) hotTargets() []simnet.Addr {
+func (n *IndexNode) hotTargets(h *hotState) []simnet.Addr {
 	list := n.Chord.SuccessorList()
-	targets := make([]simnet.Addr, 0, n.hot.replicas)
+	targets := make([]simnet.Addr, 0, h.replicas)
 	for _, succ := range list {
-		if len(targets) >= n.hot.replicas {
+		if len(targets) >= h.replicas {
 			break
 		}
 		if succ.Addr == n.addr || !n.net.Alive(succ.Addr) {
@@ -186,7 +188,7 @@ func (n *IndexNode) hotTargets() []simnet.Addr {
 // without a hot entry are skipped. Iteration is over a sorted copy so
 // same-seed runs push in the same order.
 func (n *IndexNode) refreshHot(keys []chord.ID, tc trace.TraceContext, at simnet.VTime) {
-	h := n.hot
+	h := n.hotRef()
 	if h == nil {
 		return
 	}
@@ -231,7 +233,7 @@ func (n *IndexNode) refreshHot(keys []chord.ID, tc trace.TraceContext, at simnet
 // the key wholesale (idempotent under re-delivery). The slice is copied
 // so the stored row never aliases the wire payload.
 func (n *IndexNode) storeHotReplica(r HotReplicaReq) {
-	h := n.hot
+	h := n.hotRef()
 	if h == nil {
 		return
 	}
@@ -247,7 +249,7 @@ func (n *IndexNode) storeHotReplica(r HotReplicaReq) {
 // has advertised the key at that epoch. The returned row never aliases
 // internal state.
 func (n *IndexNode) readHotReplica(key chord.ID, epoch uint64) ([]Posting, bool) {
-	h := n.hot
+	h := n.hotRef()
 	if h == nil {
 		return nil, false
 	}

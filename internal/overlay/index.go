@@ -29,9 +29,21 @@ type IndexNode struct {
 	seqMu   sync.Mutex
 	lastSeq map[simnet.Addr]uint64
 
+	// hotMu guards hot: EnableAdaptive installs the detector with a plain
+	// pointer store, and under concurrent delivery a handler may already
+	// be serving a lookup on another goroutine. Readers take the pointer
+	// through hotRef; hotState's own fields are guarded by its leaf mu.
+	hotMu sync.Mutex
 	// hot is the workload-adaptive hot-key state (nil unless
 	// EnableAdaptive ran; see hot.go).
 	hot *hotState
+}
+
+// hotRef snapshots the adaptive-state pointer (nil = detector off).
+func (n *IndexNode) hotRef() *hotState {
+	n.hotMu.Lock()
+	defer n.hotMu.Unlock()
+	return n.hot
 }
 
 // NewIndexNode creates an index node with the given ring identifier and
@@ -110,8 +122,8 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 			return nil, at, fmt.Errorf("overlay: lookup payload %T", req)
 		}
 		resp := PostingsResp{Postings: n.Table.Get(r.Key)}
-		if n.hot != nil && r.Epoch != 0 {
-			resp.Replicas, resp.Epoch = n.adaptiveTail(r.Key, resp.Postings, r.Epoch, r.TC, at)
+		if h := n.hotRef(); h != nil && r.Epoch != 0 {
+			resp.Replicas, resp.Epoch = n.adaptiveTail(h, r.Key, resp.Postings, r.Epoch, r.TC, at)
 		}
 		return resp, at, nil
 	case MethodHotReplica:

@@ -97,6 +97,17 @@ type Config struct {
 	// FailTimeout is the virtual time wasted discovering that a failed node
 	// does not answer (default 500ms).
 	FailTimeout time.Duration
+	// ConcurrentDelivery executes each remote handler invocation on its
+	// own goroutine (the per-message server goroutine a real transport
+	// would use) instead of inline on the caller's, with a deterministic
+	// commit order: the dispatching Call/Send still returns the handler's
+	// result synchronously, so virtual times, accounted traffic and
+	// location tables are byte-identical to serial delivery. Concurrently
+	// in-flight messages (simnet.Parallel fan-outs) get genuinely
+	// overlapping handler goroutines plus a seeded scheduling jitter —
+	// the mode the `-race` CI job runs to corroborate the adhoclint
+	// racefree analysis. See concurrent.go.
+	ConcurrentDelivery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -417,7 +428,7 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, arrive, "")
 	}
-	resp, done, err := h.HandleCall(arrive, method, req)
+	resp, done, err := n.deliver(h, from, to, method, req, arrive)
 	if err != nil {
 		// Error responses travel back as a small control message, exempt
 		// from loss draws: dropping a 16-byte error ack would only mask
@@ -500,7 +511,7 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, arrive, "")
 	}
-	_, done, err := h.HandleCall(arrive, method, req)
+	_, done, err := n.deliver(h, from, to, method, req, arrive)
 	return done, err
 }
 
