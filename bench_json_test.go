@@ -146,12 +146,13 @@ func runScenario(name string, fn func(b *testing.B)) benchScenario {
 	}
 }
 
-// TestWriteBenchJSON regenerates BENCH_PR9.json. It runs only when
+// TestWriteBenchJSON regenerates BENCH_PR10.json. It runs only when
 // BENCH_JSON names the output path (`make bench-json` sets it), and fails
 // if the binary codec does not beat the gob baseline on allocs/op for the
-// fabric hot paths, or if the adaptive index does not strictly beat the
-// static one on the Zipf storm's hot-node share and tail — the measured
-// claims the committed file records.
+// fabric hot paths, if the adaptive index does not strictly beat the
+// static one on the Zipf storm's hot-node share and tail, or if the armed
+// flight recorder costs more than the bounded-overhead guard allows — the
+// measured claims the committed file records.
 func TestWriteBenchJSON(t *testing.T) {
 	out := os.Getenv("BENCH_JSON")
 	if out == "" {
@@ -186,6 +187,17 @@ func TestWriteBenchJSON(t *testing.T) {
 		b.ReportAllocs()
 		benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
 			p.Concurrent = true
+			return experiments.E9Fig4EndToEnd(p)
+		})
+	}))
+	// The flight-recorder twin of e9_query: recorder and invariant monitors
+	// armed with 128-event per-node rings, all monitors checked per
+	// configuration. The delta against e9_query is the always-on recording
+	// overhead; the guard below keeps it bounded.
+	scenarios = append(scenarios, runScenario("e9_query_flightrec", func(b *testing.B) {
+		b.ReportAllocs()
+		benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
+			p.Flight = 128
 			return experiments.E9Fig4EndToEnd(p)
 		})
 	}))
@@ -234,6 +246,14 @@ func TestWriteBenchJSON(t *testing.T) {
 			t.Errorf("codec/%s: binary path allocates %d allocs/op, gob baseline %d — the binary codec must allocate strictly less",
 				c.name, bin.AllocsOp, gb.AllocsOp)
 		}
+	}
+	// Recording must stay bounded-overhead: the armed E9 sweep may not cost
+	// more than 1.75x the disabled one (measured ~1.25x; the slack absorbs
+	// shared-runner noise, not a regression to per-event allocation).
+	e9, e9f := byName["e9_query"], byName["e9_query_flightrec"]
+	if e9f.NsOp >= 1.75*e9.NsOp {
+		t.Errorf("e9_query_flightrec: %.0f ns/op vs %.0f ns/op disabled (%.2fx) — flight recording is no longer bounded-overhead",
+			e9f.NsOp, e9.NsOp, e9f.NsOp/e9.NsOp)
 	}
 	// The adaptive index must strictly beat the static one on the hot-key
 	// storm's two measured claims; if it stops doing so the extension has

@@ -53,6 +53,16 @@ func BenchmarkE6_Optional(b *testing.B)      { benchExperiment(b, experiments.E6
 func BenchmarkE7_Union(b *testing.B)         { benchExperiment(b, experiments.E7Union) }
 func BenchmarkE8_FilterPushing(b *testing.B) { benchExperiment(b, experiments.E8FilterPushing) }
 func BenchmarkE9_Fig4EndToEnd(b *testing.B)  { benchExperiment(b, experiments.E9Fig4EndToEnd) }
+
+// BenchmarkE9_FlightRecorder is E9 with the flight recorder and invariant
+// monitors armed (128-event rings); the delta against the plain E9 run is
+// the always-on recording overhead.
+func BenchmarkE9_FlightRecorder(b *testing.B) {
+	benchExperiment(b, func(p experiments.Params) (*experiments.Table, error) {
+		p.Flight = 128
+		return experiments.E9Fig4EndToEnd(p)
+	})
+}
 func BenchmarkE10_VsRDFPeers(b *testing.B)   { benchExperiment(b, experiments.E10VsRDFPeers) }
 func BenchmarkE11_Churn(b *testing.B)        { benchExperiment(b, experiments.E11Churn) }
 func BenchmarkE12_JoinSite(b *testing.B)     { benchExperiment(b, experiments.E12JoinSite) }

@@ -1,0 +1,35 @@
+package main
+
+import "go/types"
+
+// The flight recorder (internal/flight) is the second observability leaf
+// the whole-program rules know by contract rather than by derivation:
+//
+//   - flight.Recorder.Emit is fabric-neutral: recording an event moves no
+//     modeled bytes or VTime, so the vtime rule's fabric-reach closure and
+//     the faultpath touches closure both stop at the flight package, the
+//     same way they stop at internal/trace.
+//   - Emit is allocation-free on the steady-state hot path: rings are
+//     preallocated at arm time and events are all-value-type, so the
+//     alloc rule treats flight callees as reachability barriers instead
+//     of flagging the ring bookkeeping inside them.
+//   - flight.Event is reference-free (strings and integers only), so it
+//     is wire-safe wherever it appears; the wireiso rule needs no special
+//     case for it, and the fixture pins that events in payload positions
+//     stay accepted.
+
+// flightPath is the import path of the module's flight-recorder package.
+func flightPath(modPath string) string { return modPath + "/internal/flight" }
+
+// inFlightPackage reports whether fn is declared in the module's flight
+// package (Recorder.Emit and the monitor/incident helpers).
+func inFlightPackage(fn *types.Func, modPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == flightPath(modPath)
+}
+
+// observabilityNeutral reports whether fn belongs to one of the two
+// observability leaf packages — trace or flight — whose functions are
+// fabric-neutral and hot-path-safe by the contracts above.
+func observabilityNeutral(fn *types.Func, modPath string) bool {
+	return inTracePackage(fn, modPath) || inFlightPackage(fn, modPath)
+}

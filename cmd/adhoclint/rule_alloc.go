@@ -189,7 +189,7 @@ func (a *allocChecker) computeFabric() {
 				}
 				if call, ok := n.(*ast.CallExpr); ok {
 					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil &&
-						!a.exempt[callee] && !inTracePackage(callee, a.prog.modPath) && a.touches[callee] {
+						!a.exempt[callee] && !observabilityNeutral(callee, a.prog.modPath) && a.touches[callee] {
 						a.touches[obj] = true
 						a.fabricVia[obj] = callee
 						changed = true
@@ -204,7 +204,7 @@ func (a *allocChecker) computeFabric() {
 // computeHandlerReach walks the static call graph breadth-first from every
 // HandleCall dispatch entry point, recording a parent edge per function —
 // the upward half of the witness chain. Exempt functions are reachability
-// barriers; trace-package callees are fabric-neutral by contract.
+// barriers; trace- and flight-package callees are fabric-neutral by contract.
 func (a *allocChecker) computeHandlerReach() {
 	var queue []*types.Func
 	for obj, d := range a.decls {
@@ -229,7 +229,7 @@ func (a *allocChecker) computeHandlerReach() {
 			}
 			callee, _ := staticCallee(d.pkg.Info, call)
 			if callee == nil || a.reached[callee] || a.exempt[callee] ||
-				inTracePackage(callee, a.prog.modPath) {
+				observabilityNeutral(callee, a.prog.modPath) {
 				return true
 			}
 			if _, hasDecl := a.decls[callee]; !hasDecl {

@@ -256,7 +256,7 @@ func (c *faultpathChecker) computeTouches() {
 				}
 				if call, ok := n.(*ast.CallExpr); ok {
 					if callee, _ := staticCallee(d.pkg.Info, call); callee != nil &&
-						!inTracePackage(callee, c.prog.modPath) && c.touches[callee] {
+						!observabilityNeutral(callee, c.prog.modPath) && c.touches[callee] {
 						reached = true
 					}
 				}

@@ -188,12 +188,14 @@ func (v *vtimeChecker) nodeTouchesFabric(p *Package, node ast.Node) bool {
 	return found
 }
 
-// traceNeutral reports whether callee belongs to the trace package, whose
-// functions — Recorder.Record above all — are fabric-neutral by contract
-// (see trace_knowledge.go): recording a span moves no modeled bytes or
-// VTime, so the fabric-reach closure stops there.
+// traceNeutral reports whether callee belongs to an observability leaf
+// package (trace or flight), whose functions — Recorder.Record and
+// Recorder.Emit above all — are fabric-neutral by contract (see
+// trace_knowledge.go and flight_knowledge.go): recording a span or an
+// event moves no modeled bytes or VTime, so the fabric-reach closure
+// stops there.
 func (v *vtimeChecker) traceNeutral(callee *types.Func) bool {
-	return inTracePackage(callee, v.prog.modPath)
+	return observabilityNeutral(callee, v.prog.modPath)
 }
 
 // checkGoFanout flags `go` statements that transitively reach fabric

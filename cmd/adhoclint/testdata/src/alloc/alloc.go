@@ -6,6 +6,7 @@ package alloc
 import (
 	"fmt"
 
+	"adhocshare/internal/flight"
 	"adhocshare/internal/simnet"
 )
 
@@ -26,6 +27,7 @@ func (Resp) SizeBytes() int { return 8 }
 type Node struct {
 	net  *simnet.Network
 	addr simnet.Addr
+	flt  *flight.Recorder
 }
 
 // HandleCall dispatches; everything it statically reaches is hot.
@@ -41,9 +43,20 @@ func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (s
 		_ = n.debugDump(r)
 		_ = n.pairs(r)
 		_ = n.echoSized(r)
+		n.recordAll(r)
 		return n.echo(r), at, nil
 	}
 	return nil, at, nil
+}
+
+// recordAll emits one flight event per name on the hot path. Flight
+// callees are fabric-neutral and hot-path-safe by contract
+// (flight_knowledge.go): the allocation walk does not descend into Emit,
+// and the all-value-type Event literal costs nothing — no findings here.
+func (n *Node) recordAll(r Req) {
+	for _, name := range r.Names {
+		n.flt.Emit(flight.Event{Node: name, Kind: flight.KindDeliver, Method: MethodEcho})
+	}
 }
 
 // echo grows an unsized slice across the request's names.

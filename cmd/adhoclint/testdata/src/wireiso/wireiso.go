@@ -6,14 +6,16 @@ package wireiso
 import (
 	"sort"
 
+	"adhocshare/internal/flight"
 	"adhocshare/internal/simnet"
 )
 
 // Wire methods.
 const (
-	MethodGet  = "iso.get"
-	MethodPut  = "iso.put"
-	MethodShip = "iso.ship"
+	MethodGet    = "iso.get"
+	MethodPut    = "iso.put"
+	MethodShip   = "iso.ship"
+	MethodEvents = "iso.events"
 )
 
 // Row is a reference-free posting.
@@ -41,12 +43,21 @@ func (t Table) Clone() Table {
 	return out
 }
 
+// EventsResp ships recent flight-recorder events. flight.Event is
+// reference-free by contract (strings and integers only — see
+// flight_knowledge.go), so events are wire-safe in any payload position;
+// only the slice holding them must be fresh.
+type EventsResp struct{ Events []flight.Event }
+
+func (e EventsResp) SizeBytes() int { return 64 * len(e.Events) }
+
 // Node holds mutable state a payload must never alias.
 type Node struct {
 	net  *simnet.Network
 	addr simnet.Addr
 	rows []Row
 	tbl  Table
+	flt  *flight.Recorder
 }
 
 // Bump mutates a row in place: n.rows is live mutable state, so sharing
@@ -68,6 +79,9 @@ func (n *Node) HandleCall(at simnet.VTime, method string, req simnet.Payload) (s
 		r := req.(RowsResp)
 		n.rows = append([]Row(nil), r.Rows...) // copied on receive: fine
 		return RowsResp{Rows: r.Rows}, at, nil // forwarding the request is ownership transfer
+	case MethodEvents:
+		// LastN returns a fresh copy of reference-free events: clean.
+		return EventsResp{Events: n.flt.LastN(string(n.addr), 8)}, at, nil
 	}
 	return nil, at, nil
 }

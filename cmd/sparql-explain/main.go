@@ -30,6 +30,7 @@ import (
 
 	"adhocshare/internal/dqp"
 	"adhocshare/internal/experiments"
+	"adhocshare/internal/flight"
 	"adhocshare/internal/sparql"
 	"adhocshare/internal/sparql/algebra"
 	"adhocshare/internal/sparql/optimize"
@@ -42,6 +43,9 @@ func main() {
 	noReorder := flag.Bool("no-reorder", false, "disable join reordering")
 	doTrace := flag.Bool("trace", false, "execute on the E9 demo deployment and print the distributed trace tree")
 	traceJSON := flag.String("trace-json", "", "execute on the E9 demo deployment and write a Chrome trace_event JSON file")
+	metrics := flag.Bool("metrics", false, "execute on the E9 demo deployment and print the per-(node, method) metrics snapshot")
+	profile := flag.Bool("profile", false, "execute on the E9 demo deployment and print the query's per-stage critical-path profile")
+	incident := flag.Bool("incident", false, "execute with the flight recorder and invariant monitors armed and print an incident report")
 	strategy := flag.String("strategy", "chain", "per-pattern strategy for -trace/-trace-json (basic, chain, freq-chain)")
 	seed := flag.Int64("seed", 0, "master seed of the demo deployment (0 = the EXPERIMENTS.md workload)")
 	faultRate := flag.Float64("faultrate", 0, "per-message-leg loss probability injected into the demo deployment after setup (0 = fault-free)")
@@ -83,32 +87,79 @@ func main() {
 	fmt.Printf("optimized:  %s\n", opt)
 	fmt.Printf("operators:  %d → %d\n", algebra.CountOps(op), algebra.CountOps(opt))
 
-	if *doTrace || *traceJSON != "" {
-		if err := runTraced(query, *strategy, *seed, *faultRate, *doTrace, *traceJSON); err != nil {
+	if *doTrace || *traceJSON != "" || *metrics || *profile || *incident {
+		opts := tracedOpts{tree: *doTrace, metrics: *metrics, profile: *profile,
+			incident: *incident, jsonPath: *traceJSON}
+		if err := runTraced(query, *strategy, *seed, *faultRate, opts); err != nil {
 			fail(err)
 		}
 	}
 }
 
+// tracedOpts selects the renderings of one traced demo execution.
+type tracedOpts struct {
+	tree     bool
+	metrics  bool
+	profile  bool
+	incident bool
+	jsonPath string
+}
+
 // runTraced executes the query on the E9 demo deployment with tracing on
-// and renders the recorded spans as requested.
-func runTraced(query, strategy string, seed int64, faultRate float64, tree bool, jsonPath string) error {
+// and renders the recorded spans as requested. -incident additionally arms
+// the flight recorder and the invariant monitors and prints an incident
+// report merging the per-node event logs with the query's trace tree.
+func runTraced(query, strategy string, seed int64, faultRate float64, opts tracedOpts) error {
 	st, err := dqp.ParseStrategy(strategy)
 	if err != nil {
 		return err
 	}
-	spans, stats, err := experiments.TraceQuery(experiments.Params{Seed: seed, FaultRate: faultRate}, st, "D00", query)
-	if err != nil {
-		return err
+	p := experiments.Params{Seed: seed, FaultRate: faultRate}
+	var spans []trace.Span
+	var stats dqp.Stats
+	var ft *experiments.FlightTrace
+	if opts.incident {
+		ft, err = experiments.TraceQueryFlight(p, st, "D00", query)
+		if err != nil {
+			return err
+		}
+		spans, stats = ft.Spans, ft.Stats
+	} else {
+		spans, stats, err = experiments.TraceQuery(p, st, "D00", query)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("\ntrace:      %d spans, %s strategy, %s\n\n", len(spans), st, stats.String())
-	if tree {
+	if opts.tree {
 		if err := trace.WriteTree(os.Stdout, spans); err != nil {
 			return err
 		}
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if opts.metrics {
+		fmt.Println("per-(node, method) metrics:")
+		if err := trace.WriteMetrics(os.Stdout, trace.BuildMetrics(spans)); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if opts.profile {
+		if err := dqp.WriteStageProfile(os.Stdout, dqp.BuildStageProfile(spans, traceID(spans))); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if opts.incident {
+		fmt.Printf("invariant monitors: %d violations\n", len(ft.Violations))
+		inc := flight.BuildIncident(ft.Monitors.Recorder(),
+			fmt.Sprintf("demo query (%s strategy)", st), ft.Violations, nil,
+			16, ft.Query, spans)
+		if err := inc.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if opts.jsonPath != "" {
+		f, err := os.Create(opts.jsonPath)
 		if err != nil {
 			return err
 		}
@@ -119,9 +170,20 @@ func runTraced(query, strategy string, seed int64, faultRate float64, tree bool,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (load at https://ui.perfetto.dev)\n", jsonPath)
+		fmt.Printf("wrote %s (load at https://ui.perfetto.dev)\n", opts.jsonPath)
 	}
 	return nil
+}
+
+// traceID returns the single nonzero trace identifier among the spans of
+// one traced demo execution.
+func traceID(spans []trace.Span) uint64 {
+	for _, s := range spans {
+		if s.Query != 0 {
+			return s.Query
+		}
+	}
+	return 0
 }
 
 func readQuery(file string, args []string) (string, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"adhocshare/internal/flight"
 	"adhocshare/internal/simnet"
 )
 
@@ -125,6 +126,10 @@ func (n *Node) Join(bootstrap simnet.Addr, at simnet.VTime) (simnet.VTime, error
 		n.fingers[i] = succ
 	}
 	n.mu.Unlock()
+	if flt := n.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindJoin,
+			VT: int64(at), End: int64(done), Peer: string(bootstrap)})
+	}
 	return done, nil
 }
 
@@ -254,8 +259,13 @@ func (n *Node) handleFindSuccessor(at simnet.VTime, req FindReq) (FindResp, simn
 		// nothing about the node's liveness, and evicting live fingers
 		// would degrade routing for every later lookup.
 		now = done
+		if flt := n.net.FlightRecorder(); flt != nil {
+			flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindRetry,
+				VT: int64(now), End: int64(now), Peer: string(next.Addr),
+				Method: MethodFindSuccessor, Query: req.TC.Query})
+		}
 		if !simnet.IsLost(err) {
-			n.evict(next.Addr)
+			n.evict(next.Addr, now)
 		}
 	}
 	return FindResp{}, now, fmt.Errorf("%w: target %v from %v", ErrLookupFailed, req.Target, n.id)
@@ -319,8 +329,13 @@ func (n *Node) handleFindSuccessorBatch(at simnet.VTime, req BatchFindReq) (Batc
 			// resolve the group's targets one by one (serially, after the
 			// parallel join, so routing-table repair stays deterministic),
 			// starting from the failed branch's timeout.
+			if flt := n.net.FlightRecorder(); flt != nil {
+				flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindRetry,
+					VT: int64(r.Done), End: int64(r.Done), Peer: string(order[g]),
+					Method: MethodFindSuccessorBatch, Query: req.TC.Query})
+			}
 			if !simnet.IsLost(r.Err) {
-				n.evict(order[g])
+				n.evict(order[g], r.Done)
 			}
 			now := r.Done
 			for _, i := range idxs {
@@ -377,8 +392,14 @@ func (n *Node) routeCandidates(target ID) []Ref {
 }
 
 // evict removes a failed address from the finger table and successor list
-// so future routing avoids it until stabilization repopulates.
-func (n *Node) evict(addr simnet.Addr) {
+// so future routing avoids it until stabilization repopulates. The
+// eviction is flight-recorded at the virtual time the failure was
+// established.
+func (n *Node) evict(addr simnet.Addr, at simnet.VTime) {
+	if flt := n.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindEvict,
+			VT: int64(at), End: int64(at), Peer: string(addr)})
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i, f := range n.fingers {
@@ -437,7 +458,7 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 		now = done
 		if err != nil {
 			if !simnet.IsLost(err) {
-				n.evict(succ.Addr)
+				n.evict(succ.Addr, now)
 				succ = n.Successor()
 			}
 		} else if x, ok := resp.(Ref); ok && !x.IsZero() && between(x.ID, n.id, succ.ID) && n.net.Alive(x.Addr) {
@@ -455,7 +476,7 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 		})
 		now = done
 		if err != nil && !simnet.IsLost(err) {
-			n.evict(succ.Addr)
+			n.evict(succ.Addr, now)
 		}
 	}
 	// Refresh the successor list from the (possibly new) successor.
@@ -480,13 +501,17 @@ func (n *Node) Stabilize(at simnet.VTime) simnet.VTime {
 			n.succ = trimRefs(dedup, n.cfg.SuccListSize)
 			n.mu.Unlock()
 		} else if !simnet.IsLost(err) {
-			n.evict(succ.Addr)
+			n.evict(succ.Addr, now)
 		}
 	} else {
 		// Sole survivor: close the ring on self.
 		n.mu.Lock()
 		n.succ = []Ref{n.Ref()}
 		n.mu.Unlock()
+	}
+	if flt := n.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindStabilize,
+			VT: int64(at), End: int64(now)})
 	}
 	return now
 }
@@ -563,7 +588,7 @@ func (n *Node) Leave(at simnet.VTime) simnet.VTime {
 		if err != nil && !simnet.IsLost(err) {
 			// Unreachable neighbour: drop it from our tables; its side of
 			// the ring repairs via stabilization once we deregister.
-			n.evict(pred.Addr)
+			n.evict(pred.Addr, now)
 		}
 	}
 	if !pred.IsZero() && succ.Addr != n.addr {
@@ -572,7 +597,7 @@ func (n *Node) Leave(at simnet.VTime) simnet.VTime {
 		})
 		now = done
 		if err != nil && !simnet.IsLost(err) {
-			n.evict(succ.Addr)
+			n.evict(succ.Addr, now)
 		}
 	}
 	return now

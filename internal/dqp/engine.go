@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"adhocshare/internal/flight"
 	"adhocshare/internal/overlay"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
@@ -80,6 +81,24 @@ type qctx struct {
 	rec trace.Recorder
 	tc  trace.TraceContext
 	seq uint64
+	// flt is the flight recorder (nil = disabled, checked once in Run);
+	// query stage transitions land in the initiator's event ring.
+	flt *flight.Recorder
+}
+
+// stage flight-records one query stage transition at the initiator.
+func (c *qctx) stage(name string, start, end simnet.VTime) {
+	if c.flt == nil {
+		return
+	}
+	c.flt.Emit(flight.Event{
+		Node:   string(c.initiator),
+		Kind:   flight.KindStage,
+		VT:     int64(start),
+		End:    int64(end),
+		Method: name,
+		Query:  c.tc.Query,
+	})
 }
 
 // nextTC derives the next serial child context of a parent span. It must
@@ -172,14 +191,18 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 		ctx.rec = rec
 		ctx.tc = trace.Root(e.sys.NextTraceID())
 	}
+	ctx.flt = e.sys.Net().FlightRecorder()
 
 	res, done, err := e.exec(ctx, op, at)
+	ctx.stage("exec", at, done)
 	if err != nil {
 		return nil, Stats{}, done, err
 	}
 	// Post-processing happens at the initiator: ship the final solutions
 	// home first (Fig. 3 "Post-Processing").
+	shipped := done
 	res, done, err = e.shipTo(ctx, res, ctx.initiator, methodResult, done)
+	ctx.stage("ship-result", shipped, done)
 	if err != nil {
 		return nil, Stats{}, done, err
 	}
@@ -203,6 +226,7 @@ func (e *Engine) Run(initiator simnet.Addr, q *sparql.Query, at simnet.VTime) (*
 	}
 	ctx.opSpan(ctx.tc, "dqp.query", string(initiator),
 		e.opts.Strategy.String()+"/"+e.opts.Conjunction.String(), at, done)
+	ctx.stage("post-process", done, done)
 
 	delta := e.sys.Net().Metrics().Sub(before)
 	stats := Stats{

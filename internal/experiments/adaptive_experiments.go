@@ -73,6 +73,9 @@ type ZipfStormSummary struct {
 	ReplicaHits int
 	// PerMethod is the storm's per-method traffic breakdown.
 	PerMethod map[string]simnet.MethodStats
+	// Monitors is the post-storm invariant-monitor status ("" when
+	// Params.Flight left the monitors off, "ok" when armed and clean).
+	Monitors string
 }
 
 // E16ZipfStormSummary runs the storm once, static or adaptive, and
@@ -141,6 +144,7 @@ func E16ZipfStormSummary(p Params, adaptive bool) (ZipfStormSummary, error) {
 	if len(steady) > 0 {
 		sum.MeanMs = float64(total) / float64(len(steady)) / float64(time.Millisecond)
 	}
+	sum.Monitors = dep.checkMonitors()
 	return sum, nil
 }
 
@@ -191,6 +195,9 @@ func E16ZipfStorm(p Params) (*Table, error) {
 		t.AddRow(name, sum.Queries, sum.Failed, sum.Messages, kb(sum.Bytes),
 			sum.HotShare, sum.MeanMs, sum.TailMs, sum.ReplicaHits)
 		t.AddTraffic(name, sum.PerMethod)
+		if sum.Monitors != "" {
+			t.Notes = append(t.Notes, fmt.Sprintf("invariant monitors (%s storm): %s", name, sum.Monitors))
+		}
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("hot-node byte share %.2f -> %.2f: hot rows answered by %d replica reads instead of the home successor",

@@ -34,12 +34,19 @@ import (
 // deterministic commit order. All simulated quantities — VTimes, traffic,
 // tables — are byte-identical to a serial run with the same Params; the
 // mode exists so `-race` runs observe true handler concurrency.
+//
+// Flight, when nonzero, arms the flight recorder and the live invariant
+// monitors on the deployments an experiment builds, with Flight events
+// retained per node. Recording is strictly observational — tables,
+// traffic and VTimes are byte-identical with the knob off — and same-seed
+// runs retain byte-identical event logs.
 type Params struct {
 	Seed       int64
 	Clock      *simnet.Clock
 	FaultRate  float64
 	Adaptive   bool
 	Concurrent bool
+	Flight     int
 }
 
 // clock returns the injected clock, or a fresh one at virtual time zero.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adhocshare/internal/dqp"
+	"adhocshare/internal/flight"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/workload"
 )
@@ -257,6 +258,7 @@ func E9Fig4EndToEnd(p Params) (*Table, error) {
 	})
 	q := workload.QueryFig4("Smith")
 	firstSols := -1
+	armed, violated := 0, 0
 	for _, st := range []dqp.Strategy{dqp.StrategyBasic, dqp.StrategyChain, dqp.StrategyFreqChain} {
 		for _, cj := range []dqp.Conjunction{dqp.ConjPipeline, dqp.ConjParallelJoin} {
 			for _, flags := range []struct{ push, reorder bool }{{false, false}, {true, true}} {
@@ -269,12 +271,27 @@ func E9Fig4EndToEnd(p Params) (*Table, error) {
 					PushFilters: flags.push, ReorderJoins: flags.reorder,
 				}
 				res, stats, err := dep.runQuery(opts, "D00", q)
+				if s := dep.checkMonitors(); s != "" {
+					armed++
+					if s != "ok" {
+						violated++
+						t.Notes = append(t.Notes, fmt.Sprintf(
+							"MONITOR %v/%v push=%v: %s", st, cj, flags.push, s))
+					}
+				}
 				if err != nil {
 					// Under injected loss a config whose retry budget is
 					// exhausted reports the typed partial-failure error
 					// rather than a truncated result; record it as an
 					// explicit outcome instead of aborting the table.
 					if p.FaultRate > 0 && dqp.IsPartialFailure(err) {
+						if rec := dep.sys.Net().FlightRecorder(); rec != nil {
+							rec.Emit(flight.Event{
+								Node: "D00", Kind: flight.KindPartial,
+								VT: int64(dep.clock.Now()), End: int64(dep.clock.Now()),
+								Method: fmt.Sprintf("%v/%v", st, cj), Note: err.Error(),
+							})
+						}
 						t.Notes = append(t.Notes, fmt.Sprintf(
 							"partial failure at loss %.2g: %v/%v push=%v: %v",
 							p.FaultRate, st, cj, flags.push, err))
@@ -296,6 +313,10 @@ func E9Fig4EndToEnd(p Params) (*Table, error) {
 					stats.PerMethod)
 			}
 		}
+	}
+	if armed > 0 && violated == 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"invariant monitors armed on all %d configurations: zero violations", armed))
 	}
 	t.Notes = append(t.Notes,
 		"every configuration returns the same solution set (ordering applied at the initiator)",

@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"E14", "initiator lookup cache (extension)", E14LookupCache},
 		{"E15", "numeric range queries vs. LPH (extension)", E15RangeQueries},
 		{"E16", "Zipf query storm: adaptive hot-key replication (extension)", E16ZipfStorm},
+		{"E17", "per-query stage profiles: critical-path attribution (extension)", E17StageProfiles},
 	}
 }
 

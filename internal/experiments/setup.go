@@ -23,9 +23,12 @@ func netConfig() simnet.Config {
 }
 
 // deployment bundles an overlay with the virtual clock that drives it.
+// mon is non-nil when Params.Flight armed the flight recorder and the
+// invariant monitors.
 type deployment struct {
 	sys   *overlay.System
 	clock *simnet.Clock
+	mon   *overlay.Monitors
 }
 
 // faultSeedBase is the seed-stream base of the fault-injection plan, kept
@@ -64,12 +67,32 @@ func buildDeployment(p Params, nIndex int, d *workload.Dataset) (*deployment, er
 		}
 		dep.clock.Advance(done)
 	}
+	if p.Flight > 0 {
+		// Arm after the fault-free setup so the monitored window covers
+		// exactly the measured operations (the conservation baseline is the
+		// message count at arm time).
+		dep.mon = overlay.Arm(sys, p.Flight)
+	}
 	if p.FaultRate > 0 {
 		sys.Net().SetFaults(&simnet.FaultPlan{
 			Seed: p.seed(faultSeedBase), LossRate: p.FaultRate,
 		})
 	}
 	return dep, nil
+}
+
+// checkMonitors runs every armed invariant monitor and returns a short
+// status cell for experiment tables: "ok" when armed and clean, the
+// violation count otherwise, "" when monitors are off.
+func (dep *deployment) checkMonitors() string {
+	if dep.mon == nil {
+		return ""
+	}
+	vs := dep.mon.CheckAll()
+	if len(vs) == 0 {
+		return "ok"
+	}
+	return fmt.Sprintf("%d violations", len(vs))
 }
 
 // runQuery executes one query and returns its result and stats, advancing

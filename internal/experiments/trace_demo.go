@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"adhocshare/internal/dqp"
+	"adhocshare/internal/flight"
+	"adhocshare/internal/overlay"
 	"adhocshare/internal/trace"
 	"adhocshare/internal/workload"
 )
@@ -51,4 +53,52 @@ func fig4Opts(strategy dqp.Strategy) dqp.Options {
 // the exporter golden tests.
 func TraceFig4(p Params, strategy dqp.Strategy) ([]trace.Span, dqp.Stats, error) {
 	return TraceQuery(p, strategy, "D00", workload.QueryFig4("Smith"))
+}
+
+// FlightTrace bundles the full observability picture of one traced query:
+// its spans, the flight events of every node involved, the post-query
+// invariant-monitor verdict, and the armed monitors themselves (for
+// incident-report construction).
+type FlightTrace struct {
+	Spans      []trace.Span
+	Events     []flight.Event
+	Violations []flight.Violation
+	Stats      dqp.Stats
+	Monitors   *overlay.Monitors
+	// Query is the trace identifier of the executed query.
+	Query uint64
+}
+
+// TraceQueryFlight is TraceQuery with the flight recorder and the live
+// invariant monitors armed (ring size p.Flight, or the recorder default
+// when unset). All invariant monitors run after the query; identical
+// Params and inputs reproduce the spans and the event log byte for byte.
+func TraceQueryFlight(p Params, strategy dqp.Strategy, initiator, query string) (*FlightTrace, error) {
+	if p.Flight <= 0 {
+		p.Flight = flight.DefaultRingSize
+	}
+	dep, err := fig4Deployment(p)
+	if err != nil {
+		return nil, err
+	}
+	buf := trace.NewBuffer()
+	dep.sys.Net().SetRecorder(buf)
+	_, stats, err := dep.runQuery(fig4Opts(strategy), initiator, query)
+	if err != nil {
+		return nil, err
+	}
+	ft := &FlightTrace{
+		Spans:      buf.Spans(),
+		Events:     dep.mon.Recorder().Events(),
+		Violations: dep.mon.CheckAll(),
+		Stats:      stats,
+		Monitors:   dep.mon,
+	}
+	for _, s := range ft.Spans {
+		if s.Query != 0 {
+			ft.Query = s.Query
+			break
+		}
+	}
+	return ft, nil
 }

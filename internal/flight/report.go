@@ -1,0 +1,133 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"adhocshare/internal/trace"
+)
+
+// Incident is a bounded causality report: the violations (or harness
+// failure) that triggered it, the last N retained events of the involved
+// nodes merged by virtual time, and — when the incident is tied to a
+// query — that query's trace tree.
+type Incident struct {
+	// Title names the incident ("replica-epoch violation",
+	// "TestE9… failed", …).
+	Title string
+	// Query is the trace identifier of the implicated query (zero when
+	// the incident is not query-scoped).
+	Query uint64
+	// Violations are the monitor findings, sorted deterministically.
+	Violations []Violation
+	// Nodes are the involved nodes, sorted.
+	Nodes []string
+	// Events are the merged last-N events of the involved nodes, in
+	// canonical order.
+	Events []Event
+	// Spans is the query's trace tree (may be empty).
+	Spans []trace.Span
+}
+
+// BuildIncident assembles an incident from the recorder. nodes selects
+// whose rings to merge; when empty, the union of the violations' nodes
+// is used, and failing that every node with retained events. lastN
+// bounds the events taken per node (≤ 0 means the whole ring). spans,
+// when non-empty, should be the implicated query's trace (already
+// filtered or filterable by Query).
+func BuildIncident(rec *Recorder, title string, violations []Violation, nodes []string, lastN int, query uint64, spans []trace.Span) *Incident {
+	vs := append([]Violation(nil), violations...)
+	SortViolations(vs)
+	if len(nodes) == 0 {
+		seen := map[string]bool{}
+		for _, v := range vs {
+			for _, n := range v.Nodes {
+				if !seen[n] {
+					seen[n] = true
+					nodes = append(nodes, n)
+				}
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		nodes = rec.Nodes()
+	}
+	nodes = append([]string(nil), nodes...)
+	sort.Strings(nodes)
+	var events []Event
+	for _, n := range nodes {
+		events = append(events, rec.LastN(n, lastN)...)
+	}
+	SortEvents(events)
+	return &Incident{
+		Title:      title,
+		Query:      query,
+		Violations: vs,
+		Nodes:      nodes,
+		Events:     events,
+		Spans:      spans,
+	}
+}
+
+// Write renders the incident as a deterministic plain-text causality
+// report: violations first, then the merged event timeline, then the
+// query's trace tree.
+func (inc *Incident) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "INCIDENT: %s\n", inc.Title); err != nil {
+		return err
+	}
+	if inc.Query != 0 {
+		if _, err := fmt.Fprintf(w, "query: %#x\n", inc.Query); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "nodes: %v\n", inc.Nodes); err != nil {
+		return err
+	}
+	if len(inc.Violations) > 0 {
+		if _, err := fmt.Fprintf(w, "\nviolations (%d):\n", len(inc.Violations)); err != nil {
+			return err
+		}
+		for _, v := range inc.Violations {
+			if _, err := fmt.Fprintf(w, "  %s\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nevent timeline (%d events, merged by vtime):\n", len(inc.Events)); err != nil {
+		return err
+	}
+	for _, e := range inc.Events {
+		if err := writeEvent(w, e); err != nil {
+			return err
+		}
+	}
+	if len(inc.Spans) > 0 {
+		if _, err := fmt.Fprintf(w, "\ntrace tree:\n"); err != nil {
+			return err
+		}
+		if err := trace.WriteTree(w, inc.Spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEvent(w io.Writer, e Event) error {
+	line := fmt.Sprintf("  vt=%-12d %-16s %s", e.VT, e.Kind, e.Node)
+	if e.Method != "" {
+		line += " " + e.Method
+	}
+	if e.Peer != "" {
+		line += " -> " + e.Peer
+	}
+	if e.Query != 0 {
+		line += fmt.Sprintf(" q=%#x", e.Query)
+	}
+	if e.Note != "" {
+		line += " (" + e.Note + ")"
+	}
+	_, err := fmt.Fprintln(w, line)
+	return err
+}

@@ -24,9 +24,11 @@ package overlay
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 
 	"adhocshare/internal/chord"
+	"adhocshare/internal/flight"
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/trace"
 )
@@ -152,10 +154,16 @@ func (n *IndexNode) adaptiveTail(h *hotState, key chord.ID, postings []Posting, 
 		return nil, 0
 	}
 	ps := append([]Posting(nil), postings...)
+	flt := n.net.FlightRecorder()
 	for i, to := range targets {
 		//adhoclint:faultpath(fire-and-forget, hot-replica pushes are advisory: a lost push leaves a holder that misses and the initiator falls back to the home successor)
 		n.net.Send(n.addr, to, MethodHotReplica,
 			HotReplicaReq{Key: key, Home: n.addr, Epoch: epoch, Postings: ps, TC: tc.Child(uint64(i + 1))}, at)
+		if flt != nil {
+			flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindHotPush,
+				VT: int64(at), End: int64(at), Peer: string(to), Method: MethodHotReplica,
+				Query: tc.Query, Note: "epoch " + strconv.FormatUint(epoch, 10)})
+		}
 	}
 	h.mu.Lock()
 	h.entries[key] = hotEntry{replicas: targets, epoch: epoch}
@@ -218,6 +226,7 @@ func (n *IndexNode) refreshHot(keys []chord.ID, tc trace.TraceContext, at simnet
 	}
 	h.mu.Unlock()
 	seq := uint64(0)
+	flt := n.net.FlightRecorder()
 	for _, p := range pushes {
 		ps := n.Table.Get(p.key)
 		for _, to := range p.entry.replicas {
@@ -225,6 +234,11 @@ func (n *IndexNode) refreshHot(keys []chord.ID, tc trace.TraceContext, at simnet
 			//adhoclint:faultpath(fire-and-forget, coherence re-pushes are absolute and epoch-stamped; a lost one can at worst leave a same-epoch stale copy, the documented fault-window trade shared with the lookup cache)
 			n.net.Send(n.addr, to, MethodHotReplica,
 				HotReplicaReq{Key: p.key, Home: n.addr, Epoch: p.entry.epoch, Postings: ps, TC: tc.Child(1000 + seq)}, at)
+			if flt != nil {
+				flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindHotPush,
+					VT: int64(at), End: int64(at), Peer: string(to), Method: MethodHotReplica,
+					Query: tc.Query, Note: "refresh epoch " + strconv.FormatUint(p.entry.epoch, 10)})
+			}
 		}
 	}
 }
@@ -247,25 +261,79 @@ func (n *IndexNode) storeHotReplica(r HotReplicaReq) {
 // copy with a different epoch is discarded on the spot (the epoch bump
 // already invalidated it); a home node answers from its own table when it
 // has advertised the key at that epoch. The returned row never aliases
-// internal state.
-func (n *IndexNode) readHotReplica(key chord.ID, epoch uint64) ([]Posting, bool) {
+// internal state. `at` timestamps the flight events of the read/discard.
+func (n *IndexNode) readHotReplica(key chord.ID, epoch uint64, at simnet.VTime) ([]Posting, bool) {
 	h := n.hotRef()
 	if h == nil {
 		return nil, false
 	}
+	flt := n.net.FlightRecorder()
 	h.mu.Lock()
 	if held, ok := h.held[key]; ok {
 		if held.epoch == epoch {
 			ps := append([]Posting(nil), held.postings...)
 			h.mu.Unlock()
+			if flt != nil {
+				flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindHotRead,
+					VT: int64(at), End: int64(at), Method: MethodHotLookup,
+					Note: "epoch " + strconv.FormatUint(epoch, 10)})
+			}
 			return ps, true
 		}
+		stale := held.epoch
 		delete(h.held, key)
+		if flt != nil {
+			flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindHotInval,
+				VT: int64(at), End: int64(at), Method: MethodHotLookup,
+				Note: "stale epoch " + strconv.FormatUint(stale, 10) + " != " + strconv.FormatUint(epoch, 10)})
+		}
 	}
 	entry, home := h.entries[key]
 	h.mu.Unlock()
 	if home && entry.epoch == epoch {
+		if flt != nil {
+			flt.Emit(flight.Event{Node: string(n.addr), Kind: flight.KindHotRead,
+				VT: int64(at), End: int64(at), Method: MethodHotLookup, Note: "home"})
+		}
 		return n.Table.Get(key), true
 	}
 	return nil, false
+}
+
+// HeldHot is one hot-row copy held on a replica holder, as seen by the
+// replica-epoch monitor.
+type HeldHot struct {
+	Key   chord.ID
+	Home  simnet.Addr
+	Epoch uint64
+}
+
+// HeldHotReplicas snapshots the node's held hot copies, sorted by key
+// (empty when the node is not adaptive).
+func (n *IndexNode) HeldHotReplicas() []HeldHot {
+	h := n.hotRef()
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	out := make([]HeldHot, 0, len(h.held))
+	for k, held := range h.held {
+		out = append(out, HeldHot{Key: k, Home: held.home, Epoch: held.epoch})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// HotAdvertisedEpoch reports the epoch under which the home node last
+// advertised the key as hot (ok=false when the key has no hot entry).
+func (n *IndexNode) HotAdvertisedEpoch(key chord.ID) (uint64, bool) {
+	h := n.hotRef()
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	entry, ok := h.entries[key]
+	return entry.epoch, ok
 }

@@ -138,7 +138,7 @@ func (n *IndexNode) HandleCall(at simnet.VTime, method string, req simnet.Payloa
 		if !ok {
 			return nil, at, fmt.Errorf("overlay: hot_lookup payload %T", req)
 		}
-		ps, hit := n.readHotReplica(r.Key, r.Epoch)
+		ps, hit := n.readHotReplica(r.Key, r.Epoch, at)
 		return HotPostingsResp{Hit: hit, Postings: ps}, at, nil
 	case MethodTransfer:
 		r, ok := req.(TransferReq)

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"adhocshare/internal/chord"
+	"adhocshare/internal/flight"
 	"adhocshare/internal/rdf"
 	"adhocshare/internal/simnet"
 	"adhocshare/internal/trace"
@@ -785,17 +787,26 @@ func (s *System) Epoch() uint64 {
 	return s.epoch
 }
 
-func (s *System) bumpEpoch() {
+// bumpEpoch advances the stabilization epoch and flight-records the bump
+// at the virtual time of the maintenance event that caused it (operator
+// actions such as FailNode happen outside virtual time and pass 0).
+func (s *System) bumpEpoch(at simnet.VTime, cause string) {
 	s.mu.Lock()
 	s.epoch++
+	epoch := s.epoch
 	s.mu.Unlock()
+	if flt := s.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: "system", Kind: flight.KindEpochBump,
+			VT: int64(at), End: int64(at),
+			Note: cause + " -> epoch " + strconv.FormatUint(epoch, 10)})
+	}
 }
 
 // Converge runs Chord stabilization on the index ring until pointers are
 // consistent and finger tables are fresh.
 func (s *System) Converge(at simnet.VTime) simnet.VTime {
 	done := chord.Converge(s.chordNodes(), at)
-	s.bumpEpoch()
+	s.bumpEpoch(done, "converge")
 	return done
 }
 
@@ -803,7 +814,7 @@ func (s *System) Converge(at simnet.VTime) simnet.VTime {
 // nodes.
 func (s *System) StabilizeRound(at simnet.VTime) simnet.VTime {
 	done := chord.StabilizeRound(s.chordNodes(), at)
-	s.bumpEpoch()
+	s.bumpEpoch(done, "stabilize")
 	return done
 }
 
@@ -827,14 +838,20 @@ func (s *System) chordNodes() []*chord.Node {
 // stabilization epoch advances and owner caches re-resolve.
 func (s *System) FailNode(addr simnet.Addr) {
 	s.net.Fail(addr)
-	s.bumpEpoch()
+	if flt := s.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: string(addr), Kind: flight.KindFail, Note: "operator"})
+	}
+	s.bumpEpoch(0, "fail "+string(addr))
 }
 
 // RecoverNode brings a crashed node back (and, because the node reclaims
 // its key range, advances the stabilization epoch).
 func (s *System) RecoverNode(addr simnet.Addr) {
 	s.net.Recover(addr)
-	s.bumpEpoch()
+	if flt := s.net.FlightRecorder(); flt != nil {
+		flt.Emit(flight.Event{Node: string(addr), Kind: flight.KindRecover, Note: "operator"})
+	}
+	s.bumpEpoch(0, "recover "+string(addr))
 }
 
 // RemoveIndexGraceful performs a clean index-node departure: location

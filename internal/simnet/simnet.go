@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"adhocshare/internal/flight"
 	"adhocshare/internal/trace"
 )
 
@@ -145,6 +146,14 @@ type Network struct {
 	// construction on the disabled path.
 	recMu sync.RWMutex
 	rec   trace.Recorder
+
+	// fltMu guards flt, the optional flight recorder. Nil means the
+	// recorder is disabled; the fabric reads it once per operation and the
+	// disabled path does no work and allocates nothing (flight events are
+	// value structs, so even the armed path adds no per-message heap
+	// traffic once rings reach capacity).
+	fltMu sync.RWMutex
+	flt   *flight.Recorder
 
 	// faultMu guards faults, the optional deterministic fault-injection
 	// plan (nil = fault-free). Like the recorder it sits outside mu: loss
@@ -276,6 +285,41 @@ func (n *Network) Recorder() trace.Recorder {
 	return n.rec
 }
 
+// SetFlightRecorder attaches (or, with nil, detaches) a flight recorder.
+// Like tracing it is strictly observational: it never changes accounted
+// messages, bytes, or virtual times. Exactly one event is emitted per
+// accounted message leg — a delivery, a recorded loss, or an unreachable
+// mark — which is the basis of the traffic-conservation monitor.
+func (n *Network) SetFlightRecorder(r *flight.Recorder) {
+	n.fltMu.Lock()
+	n.flt = r
+	n.fltMu.Unlock()
+}
+
+// FlightRecorder returns the currently attached flight recorder (nil =
+// disabled).
+func (n *Network) FlightRecorder() *flight.Recorder {
+	n.fltMu.RLock()
+	defer n.fltMu.RUnlock()
+	return n.flt
+}
+
+// flightMsg emits the flight event for one message leg. The event lands
+// in the sender's ring; kind is the leg's outcome (deliver, lost,
+// unreachable).
+func flightMsg(flt *flight.Recorder, kind string, tc trace.TraceContext, method string, from, to Addr, start, end VTime, note string) {
+	flt.Emit(flight.Event{
+		Node:   string(from),
+		Kind:   kind,
+		VT:     int64(start),
+		End:    int64(end),
+		Peer:   string(to),
+		Method: method,
+		Query:  tc.Query,
+		Note:   note,
+	})
+}
+
 // Register attaches a handler at the given address, replacing any previous
 // registration and clearing a failure mark.
 func (n *Network) Register(addr Addr, h Handler) {
@@ -396,6 +440,7 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		return nil, at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	flt := n.FlightRecorder()
 	faults := n.Faults()
 	reqSize := payloadSize(req)
 	n.account(method, DirRequest, reqSize)
@@ -404,6 +449,9 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "unreachable")
+		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(req), method, from, to, at, lost, "")
 		}
 		return nil, lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
@@ -414,6 +462,9 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "lost")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindLost, trace.CtxOf(req), method, from, to, at, lost, "")
+		}
 		return nil, lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
 	}
 	arrive := at.Add(n.transferDelay(from, to, reqSize))
@@ -423,10 +474,16 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, lost, "unreachable")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(req), method, from, to, at, lost, "in-flight crash")
+		}
 		return nil, lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, reqSize, at, arrive, "")
+	}
+	if flt != nil {
+		flightMsg(flt, flight.KindDeliver, trace.CtxOf(req), method, from, to, at, arrive, "")
 	}
 	resp, done, err := n.deliver(h, from, to, method, req, arrive)
 	if err != nil {
@@ -438,6 +495,9 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		back := done.Add(n.transferDelay(to, from, 16))
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, 0, done, back, "error")
+		}
+		if flt != nil {
+			flightMsg(flt, flight.KindDeliver, trace.CtxOf(req), method, to, from, done, back, "error")
 		}
 		return nil, back, err
 	}
@@ -451,11 +511,17 @@ func (n *Network) Call(from, to Addr, method string, req Payload, at VTime) (Pay
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, respSize, done, lost, "lost")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindLost, trace.CtxOf(req), method, to, from, done, lost, "reply")
+		}
 		return nil, lost, fmt.Errorf("%w: %s %s", ErrReplyLost, method, to)
 	}
 	back := done.Add(n.transferDelay(to, from, respSize))
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req).Child(trace.ResponseSeq), method, to, from, respSize, done, back, "")
+	}
+	if flt != nil {
+		flightMsg(flt, flight.KindDeliver, trace.CtxOf(req), method, to, from, done, back, "")
 	}
 	return resp, back, nil
 }
@@ -480,6 +546,7 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	flt := n.FlightRecorder()
 	faults := n.Faults()
 	size := payloadSize(req)
 	n.account(method, DirOneWay, size)
@@ -487,6 +554,9 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "unreachable")
+		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(req), method, from, to, at, lost, "")
 		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
@@ -498,6 +568,9 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "lost")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindLost, trace.CtxOf(req), method, from, to, at, lost, "")
+		}
 		return lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
 	}
 	arrive := at.Add(n.transferDelay(from, to, size))
@@ -506,10 +579,16 @@ func (n *Network) Send(from, to Addr, method string, req Payload, at VTime) (VTi
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, lost, "unreachable")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(req), method, from, to, at, lost, "in-flight crash")
+		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(req), method, from, to, size, at, arrive, "")
+	}
+	if flt != nil {
+		flightMsg(flt, flight.KindDeliver, trace.CtxOf(req), method, from, to, at, arrive, "")
 	}
 	_, done, err := n.deliver(h, from, to, method, req, arrive)
 	return done, err
@@ -537,6 +616,7 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 		return at, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	rec := n.Recorder()
+	flt := n.FlightRecorder()
 	faults := n.Faults()
 	size := payloadSize(payload)
 	n.account(method, DirTransfer, size)
@@ -544,6 +624,9 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 		lost := at.Add(n.cfg.FailTimeout)
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "unreachable")
+		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(payload), method, from, to, at, lost, "")
 		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
@@ -554,6 +637,9 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "lost")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindLost, trace.CtxOf(payload), method, from, to, at, lost, "")
+		}
 		return lost, fmt.Errorf("%w: %s %s", ErrMessageLost, method, to)
 	}
 	arrive := at.Add(n.transferDelay(from, to, size))
@@ -562,10 +648,16 @@ func (n *Network) Transfer(from, to Addr, method string, payload Payload, at VTi
 		if rec != nil {
 			n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, lost, "unreachable")
 		}
+		if flt != nil {
+			flightMsg(flt, flight.KindUnreachable, trace.CtxOf(payload), method, from, to, at, lost, "in-flight crash")
+		}
 		return lost, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	if rec != nil {
 		n.recordMsg(rec, trace.CtxOf(payload), method, from, to, size, at, arrive, "")
+	}
+	if flt != nil {
+		flightMsg(flt, flight.KindDeliver, trace.CtxOf(payload), method, from, to, at, arrive, "")
 	}
 	return arrive, nil
 }

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -157,4 +159,62 @@ func Tee(rs ...Recorder) Recorder {
 		return live[0]
 	}
 	return live
+}
+
+// WriteMetrics renders a snapshot as an aligned per-(node, method) table
+// with a compact latency summary (p50/max bucket upper bounds, virtual
+// milliseconds). Entries are already in canonical (node, method) order, so
+// the rendering of a seeded run is byte-identical.
+func WriteMetrics(w io.Writer, snap MetricsSnapshot) error {
+	if _, err := fmt.Fprintf(w, "%-10s %-28s %8s %12s %10s %10s\n",
+		"node", "method", "msgs", "bytes", "p50-ms", "max-ms"); err != nil {
+		return err
+	}
+	for _, e := range snap.Entries {
+		if _, err := fmt.Fprintf(w, "%-10s %-28s %8d %12d %10s %10s\n",
+			e.Node, e.Method, e.Count, e.Bytes,
+			bucketLabel(quantileBucket(e, 0.5)), bucketLabel(maxBucket(e))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quantileBucket returns the index of the latency bucket containing the
+// q-quantile of one entry's histogram (-1 for an empty histogram).
+func quantileBucket(e MetricsEntry, q float64) int {
+	target := int64(q * float64(e.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range e.Latency {
+		seen += n
+		if seen >= target {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxBucket returns the index of the highest non-empty latency bucket.
+func maxBucket(e MetricsEntry) int {
+	for i := len(e.Latency) - 1; i >= 0; i-- {
+		if e.Latency[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// bucketLabel renders a latency-bucket upper bound in virtual ms.
+func bucketLabel(i int) string {
+	switch {
+	case i < 0:
+		return "-"
+	case i >= len(LatencyBuckets):
+		return "+Inf"
+	default:
+		return fmt.Sprintf("<=%g", float64(LatencyBuckets[i])/1e6)
+	}
 }

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func ringSpans() []Span {
+	var out []Span
+	for q := uint64(1); q <= 5; q++ {
+		for i := 0; i < 10; i++ {
+			out = append(out, Span{Query: q, ID: uint64(i + 1), Kind: KindMessage,
+				Name: "m", Start: int64(i * 10), End: int64(i*10 + 5)})
+		}
+	}
+	return out
+}
+
+func TestRingBufferEvictsOldestTraces(t *testing.T) {
+	b := NewRingBuffer(20)
+	for _, s := range ringSpans() {
+		b.Record(s)
+	}
+	if b.Len() != 20 {
+		t.Fatalf("len = %d, want 20", b.Len())
+	}
+	spans := b.Spans()
+	// 50 spans over queries 1..5, cap 20: queries 1–3 evicted, 4–5 kept.
+	if qs := b.Queries(); !reflect.DeepEqual(qs, []uint64{4, 5}) {
+		t.Fatalf("retained queries = %v, want [4 5]", qs)
+	}
+	for _, s := range spans {
+		if s.Query < 4 {
+			t.Fatalf("old trace %d survived eviction", s.Query)
+		}
+	}
+}
+
+func TestRingBufferInsertionOrderIndependent(t *testing.T) {
+	base := ringSpans()
+	build := func(seed int64) []Span {
+		spans := append([]Span(nil), base...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+		b := NewRingBuffer(17)
+		for _, s := range spans {
+			b.Record(s)
+		}
+		return b.Spans()
+	}
+	want := build(1)
+	for seed := int64(2); seed <= 6; seed++ {
+		if got := build(seed); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ring contents differ between insertion orders (seed %d)", seed)
+		}
+	}
+}
+
+func TestSetLimitShrinksExistingSpans(t *testing.T) {
+	b := NewBuffer()
+	for _, s := range ringSpans() {
+		b.Record(s)
+	}
+	b.SetLimit(10)
+	if b.Len() != 10 || b.Limit() != 10 {
+		t.Fatalf("len=%d limit=%d, want 10/10", b.Len(), b.Limit())
+	}
+	if qs := b.Queries(); !reflect.DeepEqual(qs, []uint64{5}) {
+		t.Fatalf("retained queries = %v, want [5]", qs)
+	}
+	b.SetLimit(0)
+	b.Record(Span{Query: 9})
+	if b.Len() != 11 {
+		t.Fatalf("uncapped append after SetLimit(0) failed: len=%d", b.Len())
+	}
+}
+
+func TestRingBufferRecordAllocationFreeAtCapacity(t *testing.T) {
+	b := NewRingBuffer(16)
+	for i := 0; i < 32; i++ {
+		b.Record(Span{Query: 1, ID: uint64(i), Start: int64(i)})
+	}
+	i := int64(32)
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Record(Span{Query: 1, ID: uint64(i), Start: i})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("ring Record at capacity allocates: %v allocs/op", allocs)
+	}
+}

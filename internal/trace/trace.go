@@ -122,18 +122,82 @@ type Recorder interface {
 // Buffer is the standard Recorder: it accumulates spans in memory and
 // exposes them in a canonical order. Safe for concurrent use (simnet
 // Parallel branches record concurrently).
+//
+// By default the buffer grows without bound — the right behaviour for
+// bounded experiments, but a silent memory leak under long storm runs.
+// SetLimit (or NewRingBuffer) turns on ring mode: at capacity, the
+// canonically smallest span is evicted for each new one. Because trace
+// identifiers are allocated monotonically per deployment, the
+// canonically smallest span belongs to the oldest trace (untraced
+// query-0 spans go first), so ring mode retains the most recent traces.
+// Eviction is by the canonical order, never insertion order, so the
+// retained contents of a seeded run are byte-identical under any
+// goroutine interleaving — including simnet.Config.ConcurrentDelivery.
 type Buffer struct {
 	mu    sync.Mutex
 	spans []Span
+	// limit > 0 enables ring mode: spans are kept sorted canonically and
+	// the smallest is evicted when the limit would be exceeded.
+	limit int
 }
 
-// NewBuffer creates an empty span buffer.
+// NewBuffer creates an empty, unbounded span buffer.
 func NewBuffer() *Buffer { return &Buffer{} }
 
-// Record implements Recorder.
+// NewRingBuffer creates a span buffer capped at limit spans (ring mode).
+func NewRingBuffer(limit int) *Buffer {
+	b := &Buffer{}
+	b.SetLimit(limit)
+	return b
+}
+
+// SetLimit caps the buffer at limit spans (≤ 0 removes the cap). Already
+// recorded spans beyond the new limit are evicted canonically-smallest
+// first.
+func (b *Buffer) SetLimit(limit int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.limit = limit
+	if limit <= 0 {
+		return
+	}
+	sortSpansLocked(b.spans)
+	if len(b.spans) > limit {
+		keep := make([]Span, limit, limit+1)
+		copy(keep, b.spans[len(b.spans)-limit:])
+		b.spans = keep
+	} else if cap(b.spans) < limit+1 {
+		grown := make([]Span, len(b.spans), limit+1)
+		copy(grown, b.spans)
+		b.spans = grown
+	}
+}
+
+// Limit returns the ring-mode capacity (0 = unbounded).
+func (b *Buffer) Limit() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.limit
+}
+
+// Record implements Recorder. In ring mode the span is inserted at its
+// canonical position and the canonically smallest span is evicted once
+// the buffer is full, so recording is allocation-free at capacity.
 func (b *Buffer) Record(s Span) {
 	b.mu.Lock()
-	b.spans = append(b.spans, s)
+	if b.limit <= 0 {
+		b.spans = append(b.spans, s)
+		b.mu.Unlock()
+		return
+	}
+	idx := sort.Search(len(b.spans), func(i int) bool { return spanLess(s, b.spans[i]) })
+	b.spans = append(b.spans, Span{})
+	copy(b.spans[idx+1:], b.spans[idx:])
+	b.spans[idx] = s
+	if len(b.spans) > b.limit {
+		copy(b.spans, b.spans[1:])
+		b.spans = b.spans[:b.limit]
+	}
 	b.mu.Unlock()
 }
 
@@ -195,40 +259,46 @@ func (b *Buffer) Queries() []uint64 {
 // SortSpans orders spans canonically (total order over every field, so
 // equal span multisets sort byte-identically).
 func SortSpans(spans []Span) {
-	sort.Slice(spans, func(i, j int) bool {
-		a, b := spans[i], spans[j]
-		if a.Query != b.Query {
-			return a.Query < b.Query
-		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.End != b.End {
-			return a.End < b.End
-		}
-		if a.ID != b.ID {
-			return a.ID < b.ID
-		}
-		if a.Parent != b.Parent {
-			return a.Parent < b.Parent
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Name != b.Name {
-			return a.Name < b.Name
-		}
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		if a.Bytes != b.Bytes {
-			return a.Bytes < b.Bytes
-		}
-		return a.Note < b.Note
-	})
+	sort.Slice(spans, func(i, j int) bool { return spanLess(spans[i], spans[j]) })
+}
+
+// sortSpansLocked is SortSpans for internal use under the buffer lock.
+func sortSpansLocked(spans []Span) { SortSpans(spans) }
+
+// spanLess is the canonical total order over spans: every field
+// participates, so equal span multisets sort byte-identically.
+func spanLess(a, b Span) bool {
+	if a.Query != b.Query {
+		return a.Query < b.Query
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Parent != b.Parent {
+		return a.Parent < b.Parent
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return a.Note < b.Note
 }
 
 // Carrier is implemented by RPC payloads that carry a TraceContext. The
